@@ -1,0 +1,51 @@
+// End-to-end reproduction of Section IV's conclusion: extract the entire
+// signing key from EM traces of the signing operation, then forge
+// signatures on arbitrary messages.
+//
+// Runs the complete pipeline (trace campaign over real signing queries,
+// extend-and-prune on every FFT(f) component, invFFT + rounding,
+// g = h*f mod q, NTRUSolve, forge, verify with the public key) at
+// several ring sizes -- the per-coefficient attack is identical at every
+// n; the paper makes the same argument for FALCON-512 vs -1024.
+
+#include <chrono>
+#include <cstdio>
+
+#include "attack/key_recovery.h"
+#include "common/rng.h"
+#include "falcon/falcon.h"
+
+using namespace fd;
+
+int main() {
+  std::printf("== End-to-end key recovery + forgery ==\n\n");
+  std::printf("%6s %8s %10s %12s %8s %8s %8s %10s\n", "n", "traces", "components",
+              "recovered", "f-exact", "NTRU", "forged", "seconds");
+
+  bool all_ok = true;
+  for (const unsigned logn : {3U, 4U, 5U, 6U}) {
+    ChaCha20Prng rng(0xE2E0 + logn);
+    const auto victim = falcon::keygen(logn, rng);
+
+    attack::KeyRecoveryConfig cfg;
+    cfg.num_traces = 900;
+    cfg.device.noise_sigma = 2.0;
+    cfg.adversarial_random = 120;
+    cfg.seed = 0xE2E0 + logn;
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto res = attack::recover_key(victim, cfg);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+
+    std::printf("%6zu %8zu %10zu %9zu/%-2zu %8s %8s %8s %10.2f\n", victim.pk.params.n,
+                cfg.num_traces, res.components_total, res.components_correct,
+                res.components_total, res.f_exact ? "YES" : "no",
+                res.ntru_solved ? "YES" : "no", res.forgery_verified ? "YES" : "no", secs);
+    all_ok = all_ok && res.forgery_verified;
+  }
+  std::printf("\npaper: 'the adversary can recover the entire secret key and\n"
+              "successfully sign arbitrary messages' -- reproduced: %s\n",
+              all_ok ? "YES" : "NO");
+  return all_ok ? 0 : 1;
+}

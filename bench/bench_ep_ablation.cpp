@@ -1,0 +1,93 @@
+// Ablation of the paper's central algorithmic claim (Section III.B/C):
+// a straightforward CPA on the mantissa *multiplication* yields false
+// positives (bit-shifted guesses with identical correlation), while the
+// extend-and-prune strategy -- re-ranking the multiplication's top
+// guesses by the intermediate *addition* -- removes them.
+//
+// Over many random coefficients: count how often the multiplication-only
+// attack leaves the correct value tied or beaten, vs. how often the full
+// pipeline recovers it uniquely.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace fd;
+using namespace fd::bench;
+
+namespace {
+
+constexpr int kCoefficients = 60;
+constexpr std::size_t kTraces = 3000;
+constexpr double kNoise = 4.0;
+
+}  // namespace
+
+int main() {
+  std::printf("== Extend-and-prune ablation: %d coefficients, %zu traces each ==\n\n",
+              kCoefficients, kTraces);
+
+  ChaCha20Prng keyrng("ablation secrets");
+  int mul_only_unique_correct = 0;
+  int mul_only_tied = 0;
+  int mul_only_wrong = 0;
+  int ep_correct = 0;
+  int had_structural_shift = 0;
+
+  for (int i = 0; i < kCoefficients; ++i) {
+    // Random plausible FFT(f) component (sign/exponent in the realistic
+    // band, uniform mantissa).
+    const std::uint64_t mant = keyrng.next_u64() & 0x000FFFFFFFFFFFFFULL;
+    const std::uint64_t expo = 1023 + keyrng.uniform(8);
+    const std::uint64_t sign = keyrng.next_u64() & (1ULL << 63);
+    const fpr::Fpr secret = fpr::Fpr::from_bits(sign | (expo << 52) | mant);
+    const auto split = attack::KnownOperand::from(secret);
+
+    sca::DeviceConfig dev;
+    dev.noise_sigma = kNoise;
+    const auto set = synthetic_coefficient_campaign(
+        secret, fpr::Fpr::from_double(12345.5), kTraces, dev, 9,
+        0xAB7A + static_cast<std::uint64_t>(i));
+    const auto ds = attack::build_component_dataset(set, false);
+
+    const auto cands =
+        attack::MantissaCandidates::adversarial(split.y0, false, 120,
+                                                0xCAFE + static_cast<std::uint64_t>(i));
+    const bool has_shift = (split.y0 << 1) < (1U << 25) || (split.y0 & 1U) == 0;
+    had_structural_shift += has_shift;
+
+    // Straw man: multiplication only.
+    const auto mul_only = attack::attack_low_mul_only(ds, cands, 4);
+    if (mul_only.top.size() >= 2 &&
+        std::fabs(mul_only.top[0].score - mul_only.top[1].score) < 1e-9) {
+      ++mul_only_tied;
+    } else if (!mul_only.top.empty() && mul_only.top[0].guess == split.y0) {
+      ++mul_only_unique_correct;
+    } else {
+      ++mul_only_wrong;
+    }
+
+    // Full pipeline.
+    attack::ComponentAttackConfig cac;
+    cac.low_candidates = cands;
+    cac.high_candidates =
+        attack::MantissaCandidates::adversarial(split.y1, true, 120,
+                                                0xBEEF + static_cast<std::uint64_t>(i));
+    const auto r = attack::attack_component(ds, cac);
+    ep_correct += (r.x0 == split.y0 && r.x1 == split.y1);
+  }
+
+  std::printf("%-46s %6d / %d\n", "coefficients with an in-range shift variant:",
+              had_structural_shift, kCoefficients);
+  std::printf("\nmultiplication-only attack (paper Sec. III.B straw man):\n");
+  std::printf("%-46s %6d\n", "  top guess TIED (false positives persist):", mul_only_tied);
+  std::printf("%-46s %6d\n", "  top guess uniquely correct:", mul_only_unique_correct);
+  std::printf("%-46s %6d\n", "  top guess wrong outright:", mul_only_wrong);
+  std::printf("\nextend-and-prune (paper Sec. III.C):\n");
+  std::printf("%-46s %6d / %d\n", "  full mantissa recovered uniquely:", ep_correct,
+              kCoefficients);
+  std::printf("\npaper's claim: the mult-only attack cannot resolve the shift family;\n"
+              "extend-and-prune eliminates the false positives. Reproduced iff the\n"
+              "tied count is large and the extend-and-prune count is ~all.\n");
+  return ep_correct >= kCoefficients * 9 / 10 ? 0 : 1;
+}

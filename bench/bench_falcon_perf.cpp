@@ -1,0 +1,107 @@
+// Implementation performance context (google-benchmark): keygen, sign,
+// verify, and the underlying transforms across parameter sets. Not a
+// paper figure, but the numbers situate the attack cost (one trace = one
+// signing operation on the victim).
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "falcon/falcon.h"
+#include "fft/fft.h"
+#include "zq/zq.h"
+
+namespace {
+
+using namespace fd;
+
+void BM_Keygen(benchmark::State& state) {
+  const auto logn = static_cast<unsigned>(state.range(0));
+  ChaCha20Prng rng(0x9E7F + logn);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(falcon::keygen(logn, rng));
+  }
+}
+BENCHMARK(BM_Keygen)->Arg(4)->Arg(6)->Arg(8)->Arg(9)->Unit(benchmark::kMillisecond);
+
+void BM_Sign(benchmark::State& state) {
+  const auto logn = static_cast<unsigned>(state.range(0));
+  ChaCha20Prng rng(0x516E + logn);
+  const auto kp = falcon::keygen(logn, rng);
+  int i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(falcon::sign(kp.sk, "bench message", rng));
+    ++i;
+  }
+}
+BENCHMARK(BM_Sign)->Arg(4)->Arg(6)->Arg(9)->Arg(10)->Unit(benchmark::kMicrosecond);
+
+void BM_Verify(benchmark::State& state) {
+  const auto logn = static_cast<unsigned>(state.range(0));
+  ChaCha20Prng rng(0xF17 + logn);
+  const auto kp = falcon::keygen(logn, rng);
+  const auto sig = falcon::sign(kp.sk, "bench message", rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(falcon::verify(kp.pk, "bench message", sig));
+  }
+}
+BENCHMARK(BM_Verify)->Arg(4)->Arg(6)->Arg(9)->Arg(10)->Unit(benchmark::kMicrosecond);
+
+void BM_Fft(benchmark::State& state) {
+  const auto logn = static_cast<unsigned>(state.range(0));
+  const std::size_t n = std::size_t{1} << logn;
+  ChaCha20Prng rng(0xFF7 + logn);
+  std::vector<fpr::Fpr> f(n);
+  for (auto& c : f) c = fpr::Fpr::from_double(rng.gaussian() * 100.0);
+  for (auto _ : state) {
+    fft::fft(f, logn);
+    fft::ifft(f, logn);
+    benchmark::DoNotOptimize(f.data());
+  }
+}
+BENCHMARK(BM_Fft)->Arg(6)->Arg(9)->Arg(10)->Unit(benchmark::kMicrosecond);
+
+void BM_Ntt(benchmark::State& state) {
+  const auto logn = static_cast<unsigned>(state.range(0));
+  const std::size_t n = std::size_t{1} << logn;
+  ChaCha20Prng rng(0x177 + logn);
+  std::vector<std::uint32_t> f(n);
+  for (auto& c : f) c = static_cast<std::uint32_t>(rng.uniform(zq::kQ));
+  for (auto _ : state) {
+    zq::ntt(f, logn);
+    zq::intt(f, logn);
+    benchmark::DoNotOptimize(f.data());
+  }
+}
+BENCHMARK(BM_Ntt)->Arg(6)->Arg(9)->Arg(10)->Unit(benchmark::kMicrosecond);
+
+void BM_HashToPoint(benchmark::State& state) {
+  const auto logn = static_cast<unsigned>(state.range(0));
+  const std::uint8_t salt[falcon::kSaltBytes] = {7};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(falcon::hash_to_point(salt, "bench", logn));
+  }
+}
+BENCHMARK(BM_HashToPoint)->Arg(9)->Arg(10)->Unit(benchmark::kMicrosecond);
+
+void BM_SamplerZ(benchmark::State& state) {
+  ChaCha20Prng rng(0x5A);
+  falcon::SamplerZ samp(1.2778, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        samp.sample(fpr::Fpr::from_double(0.37), fpr::Fpr::from_double(1.5)));
+  }
+}
+BENCHMARK(BM_SamplerZ);
+
+void BM_FprMul(benchmark::State& state) {
+  const fpr::Fpr a = fpr::Fpr::from_double(3.14159);
+  const fpr::Fpr b = fpr::Fpr::from_double(-2.71828);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fpr::fpr_mul(a, b));
+  }
+}
+BENCHMARK(BM_FprMul);
+
+}  // namespace
+
+BENCHMARK_MAIN();

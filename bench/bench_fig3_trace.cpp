@@ -1,0 +1,66 @@
+// Reproduces Fig. 3: an example EM measurement trace of one targeted
+// floating-point multiplication, annotated with the mantissa, exponent
+// and sign computation regions.
+//
+// The paper shows a raw probe trace with dashed region markers; we print
+// the synthesized trace with the same region annotation, captured from a
+// real FALCON-512 signing run.
+
+#include <cstdio>
+#include <bit>
+
+#include "common/rng.h"
+#include "falcon/falcon.h"
+#include "sca/capture.h"
+#include "sca/device.h"
+
+using namespace fd;
+
+namespace {
+
+const char* region_of(fpr::LeakageTag tag) {
+  using T = fpr::LeakageTag;
+  switch (tag) {
+    case T::kMulSign: return "sign";
+    case T::kMulExpX:
+    case T::kMulExpY:
+    case T::kMulExpSum: return "exponent";
+    case T::kAddAlignShift:
+    case T::kAddMantSum:
+    case T::kAddResult: return "fp-add";
+    default: return "mantissa";
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Fig. 3: annotated trace of one FFT(c).FFT(f) multiplication ==\n");
+  std::printf("victim: FALCON-512 reference signing flow, simulated EM probe\n\n");
+
+  ChaCha20Prng rng("fig3 victim key");
+  const auto kp = falcon::keygen(9, rng);
+
+  sca::EventWindowRecorder recorder(/*slot=*/0);
+  {
+    fpr::ScopedLeakageSink scope(&recorder);
+    (void)falcon::sign(kp.sk, "fig3 message", rng);
+  }
+
+  sca::DeviceConfig cfg;
+  cfg.noise_sigma = 12.0;
+  sca::EmDeviceModel device(cfg, 0xF163);
+  const auto trace = device.synthesize(recorder.events());
+
+  std::printf("%-4s %-9s %-14s %4s %9s\n", "t", "region", "operation", "HW", "EM");
+  for (std::size_t i = 0; i < recorder.events().size(); ++i) {
+    const auto& ev = recorder.events()[i];
+    std::printf("%-4zu %-9s %-14s %4d %9.2f\n", i, region_of(ev.tag),
+                fpr::leakage_tag_name(ev.tag), std::popcount(ev.value), trace.samples[i]);
+  }
+  std::printf("\nwindow length: %zu samples (4 soft-float multiplies + 2 adds);\n"
+              "the mantissa region dominates the window, the sign is a single\n"
+              "1-bit event -- matching the paper's annotation of its Fig. 3 trace.\n",
+              recorder.events().size());
+  return 0;
+}

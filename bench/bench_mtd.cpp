@@ -1,0 +1,157 @@
+// Headline reproduction: "approximately 10k measurements are sufficient
+// to extract the entire key" and "the sign bit is the most challenging
+// portion (~9k traces); exponent and mantissa addition become
+// statistically significant within about a thousand".
+//
+// Measures, over a set of coefficients drawn from real FALCON-512 keys,
+// the per-component measurements-to-disclosure (traces until the correct
+// guess leads with 99.99% significance), and the per-coefficient maximum.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "falcon/falcon.h"
+
+using namespace fd;
+using namespace fd::bench;
+
+namespace {
+
+constexpr std::size_t kTraces = 14000;
+constexpr std::size_t kStep = 250;
+constexpr double kNoise = 11.0;
+constexpr int kCoefficients = 8;
+
+struct ComponentMtd {
+  std::size_t sign, exponent, mant_mul, mant_add;
+};
+
+std::size_t median(std::vector<std::size_t> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Measurements-to-disclosure, FALCON-512 coefficients, noise sigma=%.0f ==\n\n",
+              kNoise);
+
+  // Real FALCON-512 key: its FFT(-f) components are the attacked secrets.
+  ChaCha20Prng rng("mtd bench key");
+  const auto kp = falcon::keygen(9, rng);
+
+  std::vector<ComponentMtd> rows;
+  std::printf("%-22s %8s %9s %9s %9s %12s\n", "coefficient", "sign", "exponent", "mant-mul",
+              "mant-add", "full coeff");
+  for (int i = 0; i < kCoefficients; ++i) {
+    const fpr::Fpr secret = kp.sk.b01[static_cast<std::size_t>(i * 7 + 1)];
+    const fpr::Fpr secret_im = kp.sk.b01[static_cast<std::size_t>(i * 7 + 2)];
+    const auto split = attack::KnownOperand::from(secret);
+
+    sca::DeviceConfig dev;
+    dev.noise_sigma = kNoise;
+    const auto set = synthetic_coefficient_campaign(secret, secret_im, kTraces, dev, 9,
+                                                    0x111D + static_cast<std::uint64_t>(i));
+    const auto ds = attack::build_component_dataset(set, false);
+
+    ComponentMtd m{};
+    {
+      const auto evo = correlation_evolution(
+          ds, sca::window::kOffSign, 2,
+          [&](std::size_t g, const attack::KnownOperand& k) {
+            return attack::hyp_sign(g != 0, k);
+          },
+          kStep);
+      m.sign = measurements_to_disclosure(evo, secret.sign() ? 1 : 0);
+    }
+    {
+      std::vector<std::uint32_t> guesses;
+      for (std::uint32_t e = 1005; e <= 1053; ++e) guesses.push_back(e);
+      const std::size_t correct = secret.biased_exponent() - 1005;
+      const auto evo = correlation_evolution(
+          ds, sca::window::kOffExpSum, guesses.size(),
+          [&](std::size_t g, const attack::KnownOperand& k) {
+            return attack::hyp_exponent(guesses[g], k);
+          },
+          kStep);
+      // Exponent: CPA equivalence class only -- measure time-to-lead of
+      // the correct guess's alias family (members tie by construction).
+      std::size_t mtd = 0;
+      for (std::size_t c = 0; c < evo.checkpoints.size(); ++c) {
+        const double ci = attack::confidence_interval(0.9999, evo.checkpoints[c]);
+        const double rc = evo.r[c][correct];
+        bool leads = rc > ci;
+        for (std::size_t g = 0; g < guesses.size() && leads; ++g) {
+          if (g != correct && evo.r[c][g] > rc + 1e-9) leads = false;
+        }
+        if (leads) {
+          if (mtd == 0) mtd = evo.checkpoints[c];
+        } else {
+          mtd = 0;
+        }
+      }
+      m.exponent = mtd;
+    }
+    {
+      // Mantissa multiplication vs. non-shift guesses (the shift family
+      // never separates; that is the prune phase's job).
+      const std::vector<std::uint32_t> guesses = {split.y0, split.y0 ^ 0x15A5A,
+                                                  (split.y0 + 9991) & fpr::kMantLowMask,
+                                                  split.y0 ^ 0x00041};
+      const auto evo = correlation_evolution(
+          ds, sca::window::kOffProdLL, guesses.size(),
+          [&](std::size_t g, const attack::KnownOperand& k) {
+            return attack::hyp_low_mul_ll(guesses[g], k);
+          },
+          kStep);
+      m.mant_mul = measurements_to_disclosure(evo, 0);
+    }
+    {
+      const std::vector<std::uint32_t> guesses = {split.y0,
+                                                  (split.y0 << 1) & fpr::kMantLowMask,
+                                                  split.y0 >> 1, split.y0 ^ 0x15A5A};
+      const auto evo = correlation_evolution(
+          ds, sca::window::kOffAccZ1a, guesses.size(),
+          [&](std::size_t g, const attack::KnownOperand& k) {
+            return attack::hyp_low_add_z1a(guesses[g], k);
+          },
+          kStep);
+      m.mant_add = measurements_to_disclosure(evo, 0);
+    }
+    rows.push_back(m);
+    const std::size_t full =
+        (m.sign && m.exponent && m.mant_mul && m.mant_add)
+            ? std::max({m.sign, m.exponent, m.mant_mul, m.mant_add})
+            : 0;
+    char name[32];
+    std::snprintf(name, sizeof name, "0x%016llX",
+                  static_cast<unsigned long long>(secret.bits()));
+    std::printf("%-22s %8zu %9zu %9zu %9zu %12zu\n", name, m.sign, m.exponent, m.mant_mul,
+                m.mant_add, full);
+  }
+
+  std::vector<std::size_t> signs, exps, muls, adds, fulls;
+  for (const auto& m : rows) {
+    signs.push_back(m.sign);
+    exps.push_back(m.exponent);
+    muls.push_back(m.mant_mul);
+    adds.push_back(m.mant_add);
+    fulls.push_back((m.sign && m.exponent && m.mant_mul && m.mant_add)
+                        ? std::max({m.sign, m.exponent, m.mant_mul, m.mant_add})
+                        : 0);
+  }
+  int fully = 0;
+  for (const auto f : fulls) fully += (f != 0);
+  std::printf("\nmedian MTD: sign %zu, exponent %zu, mant-mul %zu, mant-add %zu; "
+              "full coefficient %zu (paper: sign ~9k, others ~1k, total <10k)\n",
+              median(signs), median(exps), median(muls), median(adds), median(fulls));
+  std::printf("coefficients fully disclosed by plain CPA within %zu traces: %d / %d\n",
+              kTraces, fully, kCoefficients);
+  std::printf("('0' = not disclosed by plain CPA: the exponent's Pearson alias\n"
+              " classes never separate -- the key-recovery pipeline resolves them\n"
+              " with the calibrated template + invFFT integrality instead, so these\n"
+              " components still fall; see DESIGN.md 'exponent aliasing')\n");
+  return 0;
+}

@@ -1,0 +1,154 @@
+// Section V.C: "NTT vs FFT -- a side-channel perspective". The paper
+// conjectures that NTT-based schemes leak harder than FALCON's FFT
+// because modular reduction adds non-linearity that separates wrong
+// guesses faster. This bench runs the comparison quantitatively on the
+// same device model:
+//  - NTT side: CPA on the pointwise modmul c*s mod q of an NTT-based
+//    scheme (the computation prior attacks like [19] target), guessing
+//    the secret coefficient s in [0, q);
+//  - FFT side: CPA on FALCON's mantissa product (extend phase) with an
+//    equal-size guess set.
+// Reported: measurements-to-disclosure on each, at equal noise.
+
+#include <cstdio>
+#include <bit>
+
+#include "bench_util.h"
+#include "zq/zq.h"
+
+using namespace fd;
+using namespace fd::bench;
+
+namespace {
+
+constexpr std::size_t kTraces = 14000;
+constexpr std::size_t kStep = 100;
+constexpr double kNoise = 11.0;
+
+// NTT-side campaign: each trace leaks the product and reduction of
+// s * a_d for a known uniform a_d.
+struct NttTraceSet {
+  std::vector<std::uint32_t> known;
+  std::vector<float> prod_sample;
+  std::vector<float> red_sample;
+};
+
+NttTraceSet ntt_campaign(std::uint32_t secret, std::size_t num, double noise,
+                         std::uint64_t seed) {
+  ChaCha20Prng rng(seed);
+  sca::DeviceConfig dc;
+  dc.noise_sigma = noise;
+  sca::EmDeviceModel device(dc, seed ^ 0xD01CE);
+  NttTraceSet set;
+  set.known.reserve(num);
+  for (std::size_t d = 0; d < num; ++d) {
+    const auto a = static_cast<std::uint32_t>(rng.uniform(zq::kQ));
+    sca::FullRecorder rec;
+    {
+      fpr::ScopedLeakageSink scope(&rec);
+      (void)zq::mul(secret, a);
+    }
+    const auto tr = device.synthesize(rec.events());
+    set.known.push_back(a);
+    set.prod_sample.push_back(tr.samples[0]);
+    set.red_sample.push_back(tr.samples[1]);
+  }
+  return set;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== NTT vs FFT leakage comparison (Section V.C), sigma = %.0f ==\n\n", kNoise);
+
+  // ---- NTT side -----------------------------------------------------------
+  const std::uint32_t ntt_secret = 6781;  // arbitrary coefficient in [0, q)
+  const auto ntt = ntt_campaign(ntt_secret, kTraces, kNoise, 0x717A);
+
+  // CPA over a guess set including the secret and structured decoys.
+  const std::vector<std::uint32_t> ntt_guesses = {ntt_secret,
+                                                  (2 * ntt_secret) % zq::kQ,
+                                                  zq::kQ - ntt_secret,
+                                                  (ntt_secret + 1) % zq::kQ,
+                                                  4321};
+  attack::CpaEngine ntt_eng(ntt_guesses.size(), 2);
+  std::size_t ntt_mtd = 0;
+  {
+    std::vector<double> hyps(ntt_guesses.size());
+    std::size_t streak_start = 0;
+    bool in_streak = false;
+    for (std::size_t t = 0; t < kTraces; ++t) {
+      for (std::size_t g = 0; g < ntt_guesses.size(); ++g) {
+        // Leakage of the reduced product (the post-reduction register).
+        hyps[g] = std::popcount(zq::mul(ntt_guesses[g], ntt.known[t]));
+      }
+      const float samples[2] = {ntt.prod_sample[t], ntt.red_sample[t]};
+      ntt_eng.add_trace(hyps, samples);
+      if ((t + 1) % kStep == 0) {
+        const double ci = attack::confidence_interval(0.9999, t + 1);
+        bool leads = ntt_eng.peak(0) > ci;
+        for (std::size_t g = 1; g < ntt_guesses.size() && leads; ++g) {
+          leads = ntt_eng.peak(g) < ntt_eng.peak(0);
+        }
+        if (leads && !in_streak) {
+          streak_start = t + 1;
+          in_streak = true;
+        } else if (!leads) {
+          in_streak = false;
+        }
+      }
+    }
+    ntt_mtd = in_streak ? streak_start : 0;
+  }
+  std::printf("NTT pointwise modmul: secret coefficient disclosed after %zu traces\n",
+              ntt_mtd);
+
+  // ---- FFT side -----------------------------------------------------------
+  const fpr::Fpr secret = fpr::Fpr::from_bits(kPaperCoefficient);
+  const auto split = attack::KnownOperand::from(secret);
+  sca::DeviceConfig dev;
+  dev.noise_sigma = kNoise;
+  const auto set = synthetic_coefficient_campaign(secret, fpr::Fpr::from_double(5555.5),
+                                                  kTraces, dev, 9, 0x717B);
+  const auto ds = attack::build_component_dataset(set, false);
+
+  const std::vector<std::uint32_t> fft_guesses = {split.y0, split.y0 ^ 0x00003,
+                                                  split.y0 ^ 0x15A5A,
+                                                  (split.y0 + 1) & fpr::kMantLowMask,
+                                                  0x0A5A5A5 & fpr::kMantLowMask};
+  const auto evo = correlation_evolution(
+      ds, sca::window::kOffProdLL, fft_guesses.size(),
+      [&](std::size_t g, const attack::KnownOperand& k) {
+        return attack::hyp_low_mul_ll(fft_guesses[g], k);
+      },
+      kStep);
+  const std::size_t fft_mtd = measurements_to_disclosure(evo, 0);
+  std::printf("FFT mantissa product: low half disclosed after %zu traces\n", fft_mtd);
+
+  // Plus the sign bit, FALCON's slowest component (the FFT attack cannot
+  // finish before it).
+  const auto sign_evo = correlation_evolution(
+      ds, sca::window::kOffSign, 2,
+      [&](std::size_t g, const attack::KnownOperand& k) {
+        return attack::hyp_sign(g != 0, k);
+      },
+      kStep);
+  const std::size_t sign_mtd = measurements_to_disclosure(sign_evo, secret.sign() ? 1 : 0);
+  if (sign_mtd != 0) {
+    std::printf("FFT full coefficient is gated by the sign bit: %zu traces\n\n", sign_mtd);
+  } else {
+    std::printf("FFT full coefficient is gated by the sign bit: > %zu traces\n\n", kTraces);
+  }
+
+  if (ntt_mtd != 0) {
+    const std::size_t fft_full = sign_mtd != 0 ? std::max(fft_mtd, sign_mtd) : kTraces;
+    std::printf("ratio (FFT full coefficient / NTT coefficient) %s %.1fx\n",
+                sign_mtd != 0 ? "=" : ">=",
+                static_cast<double>(fft_full) / static_cast<double>(ntt_mtd));
+  }
+  std::printf("paper's conjecture: FFT needs ~10k traces while NTT attacks succeed\n"
+              "with far fewer (even single traces in [19]) -- the modular reduction's\n"
+              "non-linearity separates wrong guesses faster. Shape reproduced iff the\n"
+              "NTT MTD is substantially smaller.\n");
+  return 0;
+}

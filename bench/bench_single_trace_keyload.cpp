@@ -1,0 +1,140 @@
+// Single-trace attack on key expansion -- the quantitative version of
+// the paper's Section III.A remark that "key generation steps may also
+// leak information".
+//
+// Every time a stored key is loaded, the device recomputes the FFT basis
+// (expand_secret_key). The FIRST butterfly stage of FFT(-f) multiplies
+// raw key coefficients -- plain integers in [-127, 127] -- by public
+// roots. A profiled adversary (Sec. V.A setting: device gain/offset/
+// noise known) can therefore score all 255 candidate values per exposed
+// coefficient against the 17-event multiply records of ONE trace:
+// no repeated measurements, no known-plaintext variation needed.
+//
+// The bench recovers the n/2 stage-1-exposed coefficients of f from a
+// single key-load trace across noise levels.
+
+#include <bit>
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.h"
+#include "falcon/falcon.h"
+#include "sca/capture.h"
+#include "sca/device.h"
+#include "fft/fft.h"
+#include "sca/op_parser.h"
+
+using namespace fd;
+
+namespace {
+
+// Attacker-side simulation: the exact event values of fpr_mul(of(v), s).
+std::vector<fpr::LeakageEvent> simulate_mul(std::int32_t v, fpr::Fpr root) {
+  sca::FullRecorder rec;
+  {
+    fpr::ScopedLeakageSink scope(&rec);
+    (void)fpr::fpr_mul(fpr::fpr_of(v), root);
+  }
+  return rec.events();
+}
+
+}  // namespace
+
+int main() {
+  constexpr unsigned kLogn = 6;
+  constexpr std::size_t kN = 1U << kLogn;
+
+  std::printf("== Single-trace attack on key expansion (key load), FALCON-%zu ==\n\n", kN);
+
+  ChaCha20Prng rng("single trace victim");
+  const auto kp = falcon::keygen(kLogn, rng);
+
+  // The first FFT stage's butterflies expose f[n/4 .. n/2) and
+  // f[3n/4 .. n) (negated) as direct multiply operands.
+  // Record layout: per FFT, (logn-1)*(n/4) butterflies of 10 op records
+  // each (4 muls + 6 adds); FFT #2 (b01 = FFT(-f)) follows FFT #1.
+  constexpr std::size_t kRecordsPerFft = (kLogn - 1) * (kN / 4) * 10;
+
+  // Public knowledge: the stage-1 roots (slot gm[2+0] for all j).
+  // Recover them the same way fft() computes them: run the public code.
+  // Here we simply re-derive the known operand per butterfly by
+  // simulating the multiply with candidate values below.
+  std::vector<fpr::Fpr> stage1_roots(2);
+  {
+    // Root for stage u=1 is gm[2]: extract it via a probe FFT of x.
+    const fft::Cplx z = fft::fft_root(0, 2);  // exp(i*pi/4) at logn=2 slot 0
+    stage1_roots[0] = z.re;
+    stage1_roots[1] = z.im;
+  }
+
+  std::printf("%-12s %-22s %-14s\n", "noise sigma", "recovered coefficients",
+              "of exposed n/2");
+  for (const double sigma : {0.5, 1.0, 2.0, 4.0}) {
+    // Victim: one key-load (basis re-expansion) under capture.
+    sca::FullRecorder rec;
+    {
+      falcon::SecretKey sk_copy = kp.sk;
+      fpr::ScopedLeakageSink scope(&rec);
+      (void)falcon::expand_secret_key(sk_copy);
+    }
+    sca::DeviceConfig dc;
+    dc.noise_sigma = sigma;
+    sca::EmDeviceModel device(dc, 0x57AC + static_cast<std::uint64_t>(sigma * 10));
+    const auto trace = device.synthesize(rec.events());
+
+    // Adversary: segment the stream into op records.
+    const auto ops = sca::parse_op_records(rec.events());
+
+    // Index mul records; FFT #2 stage 1 occupies the first n/4
+    // butterflies after kRecordsPerFft records.
+    std::size_t recovered = 0;
+    std::size_t exposed = 0;
+    for (std::size_t j = 0; j < kN / 4; ++j) {
+      const std::size_t base = kRecordsPerFft + j * 10;
+      // Records base..base+3 are the four multiplies; 0/2 expose the
+      // "real" coefficient -f[j + n/4], 1/3 the "imag" -f[j + 3n/4].
+      for (const unsigned part : {0U, 1U}) {
+        const std::size_t coeff_idx = part == 0 ? j + kN / 4 : j + 3 * kN / 4;
+        const std::int32_t truth = -kp.sk.f[coeff_idx];
+        ++exposed;
+
+        double best_ll = -1e300;
+        std::int32_t best_v = -9999;
+        for (std::int32_t v = -127; v <= 127; ++v) {
+          double ll = 0.0;
+          // The two multiply records exposing this part (by s_re, s_im).
+          for (const unsigned which : {0U, 1U}) {
+            const std::size_t rec_idx = base + (part == 0 ? (which == 0 ? 0 : 2)
+                                                          : (which == 0 ? 1 : 3));
+            const auto& op = ops[rec_idx];
+            const auto predicted = simulate_mul(v, stage1_roots[which]);
+            if (predicted.size() != op.num_events) {
+              ll -= 1e6;  // zero/nonzero structure mismatch
+              continue;
+            }
+            for (std::size_t e = 0; e < predicted.size(); ++e) {
+              const double h = std::popcount(predicted[e].value);
+              const double s = trace.samples[op.first_event + e];
+              ll -= (s - h) * (s - h) / (2.0 * sigma * sigma + 1e-9);
+            }
+          }
+          if (ll > best_ll) {
+            best_ll = ll;
+            best_v = v;
+          }
+        }
+        recovered += best_v == truth;
+      }
+    }
+    std::printf("%-12.1f %10zu / %-11zu %s\n", sigma, recovered, exposed,
+                recovered == exposed ? "(all, from ONE trace)" : "");
+  }
+
+  std::printf(
+      "\nthe remaining coefficients propagate into later butterfly stages with\n"
+      "already-recovered co-operands and fall to the same template scoring; a\n"
+      "full horizontal key-load attack is the paper's flagged future work.\n"
+      "Mitigation: treat key expansion as secret-dependent code (mask or\n"
+      "precompute and store the expanded basis in protected memory).\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Countermeasure evaluation (paper Section V.B): run the same component
+// attack against devices protected by hiding (noise amplification,
+// constant-weight EM) and misalignment jitter, and report what survives.
+//
+//   ./countermeasure_eval [logn] [traces]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "attack/extend_prune.h"
+#include "common/rng.h"
+#include "falcon/falcon.h"
+#include "falcon/masked_sign.h"
+#include "sca/campaign.h"
+
+using namespace fd;
+
+namespace {
+
+struct Outcome {
+  bool sign_ok;
+  bool exp_ok;
+  bool x0_ok;
+  bool x1_ok;
+};
+
+Outcome attack_under(const falcon::KeyPair& kp, const sca::DeviceConfig& device,
+                     std::size_t traces, std::uint64_t seed) {
+  sca::CampaignConfig camp;
+  camp.num_traces = traces;
+  camp.device = device;
+  camp.seed = seed;
+  const std::size_t slot = 0;
+  const auto set = sca::run_signing_campaign(kp.sk, slot, camp);
+
+  const auto truth = kp.sk.b01[slot];
+  const auto split = attack::KnownOperand::from(truth);
+  const auto ds = attack::build_component_dataset(set, false);
+
+  attack::ComponentAttackConfig cac;
+  cac.low_candidates = attack::MantissaCandidates::adversarial(split.y0, false, 120, seed);
+  cac.high_candidates = attack::MantissaCandidates::adversarial(split.y1, true, 120, seed + 1);
+  const auto r = attack::attack_component(ds, cac);
+  return {r.sign == truth.sign(), r.exponent == truth.biased_exponent(), r.x0 == split.y0,
+          r.x1 == split.y1};
+}
+
+void report(const char* name, const Outcome& o) {
+  std::printf("%-34s sign:%-4s exp:%-4s mant-lo:%-4s mant-hi:%-4s\n", name,
+              o.sign_ok ? "OK" : "FAIL", o.exp_ok ? "OK" : "FAIL", o.x0_ok ? "OK" : "FAIL",
+              o.x1_ok ? "OK" : "FAIL");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const unsigned logn = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 5;
+  const std::size_t traces = argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 1200;
+
+  ChaCha20Prng rng("countermeasure eval");
+  const auto kp = falcon::keygen(logn, rng);
+  std::printf("attacking one FFT(f) component with %zu traces under different devices\n\n",
+              traces);
+
+  sca::DeviceConfig base;
+  base.noise_sigma = 2.0;
+  report("unprotected (sigma = 2)", attack_under(kp, base, traces, 1));
+
+  sca::DeviceConfig noisy = base;
+  noisy.noise_sigma = 30.0;
+  report("noise amplification (sigma = 30)", attack_under(kp, noisy, traces, 2));
+
+  sca::DeviceConfig hidden = base;
+  hidden.constant_weight = true;
+  report("hiding (constant-weight EM)", attack_under(kp, hidden, traces, 3));
+
+  sca::DeviceConfig jitter = base;
+  jitter.jitter_max = 8;
+  report("misalignment jitter (<= 8 samples)", attack_under(kp, jitter, traces, 4));
+
+  // Two-share masking (the countermeasure the paper calls for): same
+  // unprotected device, but the signer splits the secret rows per query.
+  {
+    sca::CampaignConfig camp;
+    camp.num_traces = traces;
+    camp.device = base;
+    camp.seed = 5;
+    camp.signer = [](const falcon::SecretKey& sk, std::string_view msg, RandomSource& r) {
+      return falcon::sign_masked(sk, msg, r);
+    };
+    const auto set = sca::run_signing_campaign(kp.sk, 0, camp);
+    const auto truth = kp.sk.b01[0];
+    const auto split = attack::KnownOperand::from(truth);
+    const auto ds = attack::build_component_dataset(set, false);
+    attack::ComponentAttackConfig cac;
+    cac.low_candidates = attack::MantissaCandidates::adversarial(split.y0, false, 120, 50);
+    cac.high_candidates = attack::MantissaCandidates::adversarial(split.y1, true, 120, 51);
+    const auto r = attack::attack_component(ds, cac);
+    report("masking (two-share signer)",
+           {r.sign == truth.sign(), r.exponent == truth.biased_exponent(),
+            r.x0 == split.y0, r.x1 == split.y1});
+  }
+
+  std::printf(
+      "\nhiding removes the data dependence entirely; masking randomizes the\n"
+      "intermediates themselves; noise and jitter only raise the number of\n"
+      "traces the adversary needs (Section V.B).\n");
+  return 0;
+}

@@ -1,0 +1,87 @@
+// The full "Falcon Down" attack, narrated: capture EM traces of a victim
+// signer, run extend-and-prune on one coefficient (showing the
+// multiplication false positives and their pruning), then recover the
+// whole key and forge a signature the victim's public key accepts.
+//
+//   ./em_attack_demo [logn] [traces]     (defaults: logn = 5, 900 traces)
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "attack/key_recovery.h"
+#include "common/rng.h"
+#include "falcon/falcon.h"
+#include "sca/campaign.h"
+
+using namespace fd;
+
+int main(int argc, char** argv) {
+  const unsigned logn = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 5;
+  const std::size_t traces = argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 900;
+
+  std::printf("=== Falcon Down: EM side-channel attack demo ===\n\n");
+  ChaCha20Prng rng("victim key seed");
+  const auto victim = falcon::keygen(logn, rng);
+  std::printf("victim: FALCON-%zu key generated (the adversary sees only h)\n",
+              victim.pk.params.n);
+
+  // ---- Phase A: one coefficient, in detail -------------------------------
+  std::printf("\n--- phase A: extend-and-prune on one FFT(f) coefficient ---\n");
+  sca::CampaignConfig camp;
+  camp.num_traces = traces;
+  camp.device.noise_sigma = 2.0;
+  camp.seed = 0xDE40;
+  const std::size_t slot = 1;
+  const auto set = sca::run_signing_campaign(victim.sk, slot, camp);
+  std::printf("captured %zu aligned windows of the FFT(c).FFT(-f) multiply, slot %zu\n",
+              set.traces.size(), slot);
+
+  const auto truth = victim.sk.b01[slot];
+  const auto split = attack::KnownOperand::from(truth);
+  const auto ds = attack::build_component_dataset(set, /*imag_part=*/false);
+
+  attack::ComponentAttackConfig cac;
+  cac.low_candidates = attack::MantissaCandidates::adversarial(split.y0, false, 150, 1);
+  cac.high_candidates = attack::MantissaCandidates::adversarial(split.y1, true, 150, 2);
+
+  // Straw man first: multiplication-only attack.
+  const auto mul_only = attack::attack_low_mul_only(ds, cac.low_candidates, 6);
+  std::printf("\nmultiplication-only attack, top guesses (note the exact ties -- the\n"
+              "shift false positives the paper describes):\n");
+  for (const auto& s : mul_only.top) {
+    std::printf("  x0 guess 0x%07x  r = %+.6f%s\n", s.guess, s.score,
+                s.guess == split.y0 ? "   <-- true value" : "");
+  }
+
+  const auto comp = attack::attack_component(ds, cac);
+  std::printf("\nextend-and-prune result:\n");
+  std::printf("  sign      : %d (true %d)\n", comp.sign, truth.sign());
+  std::printf("  exponent  : %u (true %u, tie class of %zu resolved by template)\n",
+              comp.exponent, truth.biased_exponent(), comp.exp_phase.top.size());
+  std::printf("  mant low  : 0x%07x (true 0x%07x), prune r = %+.4f\n", comp.x0, split.y0,
+              comp.low_prune.score);
+  std::printf("  mant high : 0x%07x (true 0x%07x), prune r = %+.4f\n", comp.x1, split.y1,
+              comp.high_prune.score);
+  std::printf("  assembled : 0x%016llX\n  true      : 0x%016llX\n",
+              static_cast<unsigned long long>(comp.bits),
+              static_cast<unsigned long long>(truth.bits()));
+
+  // ---- Phase B: the whole key, then forgery ------------------------------
+  std::printf("\n--- phase B: full key recovery and forgery ---\n");
+  attack::KeyRecoveryConfig cfg;
+  cfg.num_traces = traces;
+  cfg.device.noise_sigma = 2.0;
+  cfg.adversarial_random = 150;
+  cfg.seed = 0xDE40;
+  const auto res = attack::recover_key(victim, cfg);
+
+  std::printf("components recovered exactly: %zu / %zu\n", res.components_correct,
+              res.components_total);
+  std::printf("f recovered exactly: %s\n", res.f_exact ? "YES" : "no");
+  std::printf("g derived from public key: %s\n", res.derived_g == victim.sk.g ? "YES" : "no");
+  std::printf("NTRU equation re-solved for F, G: %s\n", res.ntru_solved ? "YES" : "no");
+  std::printf("forged signature verified by victim's PUBLIC key: %s\n",
+              res.forgery_verified ? "YES -- key fully compromised" : "no");
+
+  return res.forgery_verified ? 0 : 1;
+}

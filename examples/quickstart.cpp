@@ -1,0 +1,66 @@
+// Quickstart: generate a FALCON key pair, sign a message, verify it, and
+// round-trip everything through the wire formats.
+//
+//   ./quickstart [logn]        (default logn = 9, i.e. FALCON-512)
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "common/hex.h"
+#include "common/rng.h"
+#include "falcon/falcon.h"
+
+int main(int argc, char** argv) {
+  const unsigned logn = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 9;
+  if (logn < 2 || logn > 10) {
+    std::fprintf(stderr, "usage: %s [logn in 2..10]\n", argv[0]);
+    return 1;
+  }
+
+  fd::ChaCha20Prng rng("quickstart example seed");
+
+  std::printf("== FALCON-%zu (logn = %u) ==\n", std::size_t{1} << logn, logn);
+  const auto params = fd::falcon::Params::get(logn);
+  std::printf("sigma = %.3f, sigma_min = %.6f, bound^2 = %llu, sig bytes = %zu\n\n",
+              params.sigma, params.sigma_min,
+              static_cast<unsigned long long>(params.bound_sq), params.sig_bytes);
+
+  std::printf("[1] key generation...\n");
+  const auto kp = fd::falcon::keygen(logn, rng);
+  std::printf("    f[0..7]  =");
+  for (int i = 0; i < 8; ++i) std::printf(" %d", kp.sk.f[i]);
+  std::printf("\n    h[0..7]  =");
+  for (int i = 0; i < 8; ++i) std::printf(" %u", kp.pk.h[i]);
+  std::printf("\n");
+
+  const auto pk_bytes = fd::falcon::encode_public_key(kp.pk);
+  const auto sk_bytes = fd::falcon::encode_secret_key(kp.sk);
+  std::printf("    public key: %zu bytes, secret key: %zu bytes\n\n", pk_bytes.size(),
+              sk_bytes.size());
+
+  const std::string message = "FALCON quickstart message";
+  std::printf("[2] signing \"%s\"...\n", message.c_str());
+  const auto sig = fd::falcon::sign(kp.sk, message, rng);
+  const auto sig_bytes = fd::falcon::encode_signature(sig, params);
+  if (!sig_bytes) {
+    std::fprintf(stderr, "signature encoding failed\n");
+    return 1;
+  }
+  std::printf("    signature: %zu bytes, salt = %s...\n", sig_bytes->size(),
+              fd::to_hex({sig.salt, 8}).c_str());
+
+  std::printf("[3] verifying...\n");
+  const bool ok = fd::falcon::verify(kp.pk, message, sig);
+  std::printf("    genuine message: %s\n", ok ? "ACCEPT" : "REJECT");
+  const bool bad = fd::falcon::verify(kp.pk, "tampered message", sig);
+  std::printf("    tampered message: %s\n", bad ? "ACCEPT" : "REJECT");
+
+  std::printf("[4] wire-format round trip...\n");
+  const auto pk2 = fd::falcon::decode_public_key(pk_bytes);
+  const auto sig2 = fd::falcon::decode_signature(*sig_bytes, params);
+  const bool ok2 = pk2 && sig2 && fd::falcon::verify(*pk2, message, *sig2);
+  std::printf("    decoded pk + decoded sig: %s\n", ok2 ? "ACCEPT" : "REJECT");
+
+  return ok && !bad && ok2 ? 0 : 1;
+}

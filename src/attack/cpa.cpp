@@ -1,0 +1,98 @@
+#include "attack/cpa.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace fd::attack {
+
+double confidence_z(double confidence) {
+  // Inverse normal CDF at (1 + confidence) / 2 via bisection on erf --
+  // evaluated rarely, so simplicity beats speed.
+  assert(confidence > 0.0 && confidence < 1.0);
+  const double target = (1.0 + confidence) / 2.0;
+  double lo = 0.0;
+  double hi = 10.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double cdf = 0.5 * (1.0 + std::erf(mid / std::sqrt(2.0)));
+    if (cdf < target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+CpaEngine::CpaEngine(std::size_t num_guesses, std::size_t num_samples)
+    : g_(num_guesses),
+      s_(num_samples),
+      sum_h_(num_guesses, 0.0),
+      sum_h2_(num_guesses, 0.0),
+      sum_t_(num_samples, 0.0),
+      sum_t2_(num_samples, 0.0),
+      sum_ht_(num_guesses * num_samples, 0.0) {}
+
+void CpaEngine::add_trace(std::span<const double> hypotheses, std::span<const float> samples) {
+  assert(hypotheses.size() == g_ && samples.size() == s_);
+  for (std::size_t s = 0; s < s_; ++s) {
+    sum_t_[s] += samples[s];
+    sum_t2_[s] += static_cast<double>(samples[s]) * samples[s];
+  }
+  for (std::size_t g = 0; g < g_; ++g) {
+    const double h = hypotheses[g];
+    sum_h_[g] += h;
+    sum_h2_[g] += h * h;
+    double* row = &sum_ht_[g * s_];
+    for (std::size_t s = 0; s < s_; ++s) row[s] += h * samples[s];
+  }
+  ++d_;
+}
+
+double CpaEngine::correlation(std::size_t guess, std::size_t sample) const {
+  const double dn = static_cast<double>(d_);
+  const double var_h = dn * sum_h2_[guess] - sum_h_[guess] * sum_h_[guess];
+  const double var_t = dn * sum_t2_[sample] - sum_t_[sample] * sum_t_[sample];
+  const double cov = dn * sum_ht_[guess * s_ + sample] - sum_h_[guess] * sum_t_[sample];
+  const double denom = var_h * var_t;
+  return denom > 0.0 ? cov / std::sqrt(denom) : 0.0;
+}
+
+double CpaEngine::peak(std::size_t guess) const {
+  double best = -2.0;
+  for (std::size_t s = 0; s < s_; ++s) best = std::max(best, correlation(guess, s));
+  return best;
+}
+
+std::vector<std::size_t> CpaEngine::ranking() const {
+  std::vector<double> peaks(g_);
+  for (std::size_t g = 0; g < g_; ++g) peaks[g] = peak(g);
+  std::vector<std::size_t> order(g_);
+  for (std::size_t g = 0; g < g_; ++g) order[g] = g;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return peaks[a] > peaks[b]; });
+  return order;
+}
+
+StreamingScan::StreamingScan(std::vector<std::vector<float>> sample_columns)
+    : cols_(std::move(sample_columns)) {
+  assert(!cols_.empty());
+  d_ = cols_[0].size();
+  col_mean_.resize(cols_.size());
+  col_var_.resize(cols_.size());
+  const double dn = static_cast<double>(d_);
+  for (std::size_t c = 0; c < cols_.size(); ++c) {
+    assert(cols_[c].size() == d_);
+    double st = 0.0;
+    double st2 = 0.0;
+    for (const float v : cols_[c]) {
+      st += v;
+      st2 += static_cast<double>(v) * v;
+    }
+    col_mean_[c] = st / dn;
+    col_var_[c] = dn * st2 - st * st;
+  }
+}
+
+}  // namespace fd::attack

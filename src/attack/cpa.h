@@ -1,0 +1,156 @@
+#pragma once
+// Correlation power/EM analysis (CPA) engine.
+//
+// Implements the paper's distinguisher (eq. (1)): Pearson correlation
+// between per-guess Hamming-weight predictions and trace samples,
+// accumulated incrementally so that the correlation-vs-trace-count
+// evolution (Fig. 4 e-h) falls out of snapshots of the same pass.
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fd::attack {
+
+// Two-sided normal quantile for the given confidence (e.g. 0.9999).
+// The paper draws its confidence interval at +-z/sqrt(D).
+[[nodiscard]] double confidence_z(double confidence);
+[[nodiscard]] inline double confidence_interval(double confidence, std::size_t num_traces) {
+  return confidence_z(confidence) / std::sqrt(static_cast<double>(num_traces));
+}
+
+// Incremental Pearson-correlation accumulator over G guesses x S samples.
+class CpaEngine {
+ public:
+  CpaEngine(std::size_t num_guesses, std::size_t num_samples);
+
+  // hypotheses: G predicted leakage values; samples: S trace samples.
+  void add_trace(std::span<const double> hypotheses, std::span<const float> samples);
+
+  [[nodiscard]] std::size_t num_traces() const { return d_; }
+  [[nodiscard]] std::size_t num_guesses() const { return g_; }
+  [[nodiscard]] std::size_t num_samples() const { return s_; }
+
+  // Pearson r for one (guess, sample); 0 when either side is constant.
+  [[nodiscard]] double correlation(std::size_t guess, std::size_t sample) const;
+  // max over samples of r(guess, sample) -- the "leakiest point" score.
+  [[nodiscard]] double peak(std::size_t guess) const;
+  // Guess indices sorted by descending peak().
+  [[nodiscard]] std::vector<std::size_t> ranking() const;
+
+ private:
+  std::size_t g_, s_;
+  std::size_t d_ = 0;
+  std::vector<double> sum_h_, sum_h2_;   // per guess
+  std::vector<double> sum_t_, sum_t2_;   // per sample
+  std::vector<double> sum_ht_;           // per guess x sample
+};
+
+// Memory-light streaming scan for huge guess spaces (the 2^25 / 2^27
+// exhaustive enumerations): traces are stored once, then each guess is
+// scored in a single pass without per-guess state. Scores are the mean,
+// over the provided sample columns, of the Pearson correlation.
+class StreamingScan {
+ public:
+  // samples: column-major: samples[col][trace].
+  explicit StreamingScan(std::vector<std::vector<float>> sample_columns);
+
+  struct Scored {
+    std::uint32_t guess;
+    double score;
+  };
+  // model(guess, trace, col) -> predicted leakage. Returns the keep
+  // highest-scoring guesses in descending order.
+  template <typename ModelFn>
+  [[nodiscard]] std::vector<Scored> top_k(std::uint64_t guess_begin, std::uint64_t guess_end,
+                                          ModelFn&& model, std::size_t keep) const;
+  template <typename ModelFn>
+  [[nodiscard]] std::vector<Scored> top_k_list(std::span<const std::uint32_t> guesses,
+                                               ModelFn&& model, std::size_t keep) const;
+
+  // Correlation of a single guess (diagnostics).
+  template <typename ModelFn>
+  [[nodiscard]] double score_one(std::uint32_t guess, ModelFn&& model) const;
+
+  [[nodiscard]] std::size_t num_traces() const { return d_; }
+
+ private:
+  template <typename ModelFn, typename GuessAt>
+  [[nodiscard]] std::vector<Scored> top_k_impl(std::uint64_t count, GuessAt&& guess_at,
+                                               ModelFn&& model, std::size_t keep) const;
+
+  std::vector<std::vector<float>> cols_;
+  std::vector<double> col_mean_, col_var_;  // D*var actually: centered sums
+  std::size_t d_;
+};
+
+// ---- template implementations ------------------------------------------
+
+template <typename ModelFn, typename GuessAt>
+std::vector<StreamingScan::Scored> StreamingScan::top_k_impl(std::uint64_t count,
+                                                             GuessAt&& guess_at,
+                                                             ModelFn&& model,
+                                                             std::size_t keep) const {
+  std::vector<Scored> best;
+  best.reserve(keep + 1);
+  const double dn = static_cast<double>(d_);
+  for (std::uint64_t gi = 0; gi < count; ++gi) {
+    const std::uint32_t guess = guess_at(gi);
+    double score_sum = 0.0;
+    for (std::size_t c = 0; c < cols_.size(); ++c) {
+      double sh = 0.0;
+      double sh2 = 0.0;
+      double sht = 0.0;
+      const auto& col = cols_[c];
+      for (std::size_t t = 0; t < d_; ++t) {
+        const double h = model(guess, t, c);
+        sh += h;
+        sh2 += h * h;
+        sht += h * col[t];
+      }
+      const double var_h = dn * sh2 - sh * sh;
+      const double cov = dn * sht - sh * (col_mean_[c] * dn);
+      const double denom = var_h * col_var_[c];
+      score_sum += denom > 0.0 ? cov / std::sqrt(denom) : 0.0;
+    }
+    const double score = score_sum / static_cast<double>(cols_.size());
+    if (best.size() < keep || score > best.back().score) {
+      // Insert in sorted (descending) order.
+      auto it = best.begin();
+      while (it != best.end() && it->score >= score) ++it;
+      best.insert(it, {guess, score});
+      if (best.size() > keep) best.pop_back();
+    }
+  }
+  return best;
+}
+
+template <typename ModelFn>
+std::vector<StreamingScan::Scored> StreamingScan::top_k(std::uint64_t guess_begin,
+                                                        std::uint64_t guess_end,
+                                                        ModelFn&& model,
+                                                        std::size_t keep) const {
+  return top_k_impl(
+      guess_end - guess_begin,
+      [guess_begin](std::uint64_t i) { return static_cast<std::uint32_t>(guess_begin + i); },
+      std::forward<ModelFn>(model), keep);
+}
+
+template <typename ModelFn>
+std::vector<StreamingScan::Scored> StreamingScan::top_k_list(
+    std::span<const std::uint32_t> guesses, ModelFn&& model, std::size_t keep) const {
+  return top_k_impl(
+      guesses.size(), [guesses](std::uint64_t i) { return guesses[i]; },
+      std::forward<ModelFn>(model), keep);
+}
+
+template <typename ModelFn>
+double StreamingScan::score_one(std::uint32_t guess, ModelFn&& model) const {
+  const std::uint32_t list[1] = {guess};
+  const auto r = top_k_list(list, std::forward<ModelFn>(model), 1);
+  return r.empty() ? 0.0 : r[0].score;
+}
+
+}  // namespace fd::attack

@@ -1,0 +1,129 @@
+#pragma once
+// The paper's extend-and-prune attack on one FFT(f) component.
+//
+// Pipeline per secret 64-bit component (Section III):
+//   1. sign:      2-way CPA on the XOR event;
+//   2. exponent:  2^11-way CPA on the exponent-sum addition;
+//   3. mantissa low 25 bits:
+//        extend -- CPA on the x0*y0 / x0*y1 partial products. Bit-shifted
+//                  guesses produce identical Hamming weights, so this
+//                  phase keeps the top-K (the false positives survive);
+//        prune  -- CPA on the z1a intermediate addition, which is not
+//                  shift-invariant, re-ranks the K candidates and kills
+//                  the false positives;
+//   4. mantissa high 27 free bits: same extend (x1*y0 / x1*y1) and prune
+//      (zu accumulation, using the recovered x0).
+//
+// Each component is multiplied by two known values per trace (the real
+// and imaginary part of the FFT(c) slot), giving two independent "views"
+// whose correlations are averaged.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "attack/cpa.h"
+#include "attack/hypothesis.h"
+#include "sca/campaign.h"
+#include "sca/device.h"
+
+namespace fd::attack {
+
+// Per-component trace view: the 17 samples of one fpr_mul block plus the
+// known operand, for each of the two multiplications involving this
+// component.
+struct ComponentDataset {
+  struct View {
+    std::vector<KnownOperand> known;           // D entries
+    std::vector<std::vector<float>> samples;   // 17 columns x D
+  };
+  View views[2];
+  std::size_t num_traces = 0;
+
+  // Column c of view v as a StreamingScan input.
+  [[nodiscard]] std::vector<std::vector<float>> columns(std::size_t offset) const {
+    return {views[0].samples[offset], views[1].samples[offset]};
+  }
+};
+
+// Extracts the dataset for the real (imag_part=false) or imaginary part
+// of the slot captured in the trace set. max_traces == 0 means all.
+[[nodiscard]] ComponentDataset build_component_dataset(const sca::TraceSet& set, bool imag_part,
+                                                       std::size_t max_traces = 0);
+
+// Candidate generators for the mantissa phases.
+struct MantissaCandidates {
+  // The adversarial evaluation set: the true value, every in-range shift
+  // of it (the paper's false-positive family), shifts-of-shifts, and
+  // `random_count` random fillers. `high` selects the [2^27, 2^28) space.
+  [[nodiscard]] static std::vector<std::uint32_t> adversarial(std::uint32_t truth, bool high,
+                                                              std::size_t random_count,
+                                                              std::uint64_t seed);
+};
+
+struct ComponentAttackConfig {
+  std::size_t extend_top_k = 16;
+  // Candidate lists; empty means exhaustive enumeration of the full
+  // space (2^25 / 2^27 guesses -- minutes of CPU per component).
+  std::vector<std::uint32_t> low_candidates;
+  std::vector<std::uint32_t> high_candidates;
+  // Exponent guess window and tie-breaking prior. The known FFT(c)
+  // exponents cluster in a narrow band, so HW predictions for guesses
+  // offset by +-2^k (k >= 4, no carry crossing in the observed band) are
+  // exact affine shifts of each other -- Pearson-identical aliases, a
+  // structural false-positive family of the exponent addition that no
+  // amount of traces resolves. attack_component therefore returns the
+  // whole tie class (exp_phase.top) and picks the member closest to
+  // exp_prior (the Rayleigh mode of |FFT(f)| magnitudes); key recovery
+  // repairs any residually wrong picks with the integrality constraint
+  // on invFFT(FFT(f)). See DESIGN.md "exponent aliasing".
+  unsigned exp_min = 1005;
+  unsigned exp_max = 1053;
+  unsigned exp_prior = 1029;
+  // Width of the tie class around the best exponent score; negative
+  // selects the adaptive default max(1e-6, 4/sqrt(D)), which keeps every
+  // statistical near-alias in the class at any noise level.
+  double exp_tie_epsilon = -1.0;
+};
+
+// Device gain/offset estimated by regressing samples of known-value
+// events against their Hamming weights (unsupervised profiling on public
+// data; see calibrate_device).
+struct LinearCalibration {
+  double alpha = 0.0;
+  double beta = 0.0;
+};
+[[nodiscard]] LinearCalibration calibrate_device(const ComponentDataset& ds);
+
+struct PhaseOutcome {
+  std::uint32_t value = 0;
+  double score = 0.0;                        // winning correlation
+  std::vector<StreamingScan::Scored> top;    // ranked candidates (diagnostics)
+};
+
+struct ComponentResult {
+  bool sign = false;
+  unsigned exponent = 0;
+  std::uint32_t x0 = 0;  // low 25 mantissa bits
+  std::uint32_t x1 = 0;  // high 28 mantissa bits (top bit 1)
+  std::uint64_t bits = 0;  // assembled IEEE-754 pattern
+
+  PhaseOutcome sign_phase, exp_phase;
+  PhaseOutcome low_extend, low_prune, high_extend, high_prune;
+};
+
+// Runs the full extend-and-prune pipeline on one component.
+[[nodiscard]] ComponentResult attack_component(const ComponentDataset& ds,
+                                               const ComponentAttackConfig& config);
+
+// Straw-man baseline (Section III.B): multiplication-only attack with no
+// prune phase; picks the top multiplication guess. Used by the ablation
+// bench to count false positives.
+[[nodiscard]] PhaseOutcome attack_low_mul_only(const ComponentDataset& ds,
+                                               std::span<const std::uint32_t> candidates,
+                                               std::size_t keep);
+
+[[nodiscard]] std::uint64_t assemble_bits(bool sign, unsigned exponent, std::uint32_t x1,
+                                          std::uint32_t x0);
+
+}  // namespace fd::attack

@@ -1,0 +1,219 @@
+#include "attack/key_recovery.h"
+
+#include <cmath>
+
+#include "falcon/ntru_solve.h"
+#include "fft/fft.h"
+#include "zq/zq.h"
+
+namespace fd::attack {
+
+using fpr::Fpr;
+
+std::optional<falcon::SecretKey> forge_key(std::span<const std::int32_t> f,
+                                           const falcon::PublicKey& pk) {
+  const unsigned logn = pk.params.logn;
+  const std::size_t n = pk.params.n;
+
+  // g = h * f mod q; a correct f makes every centered coefficient small.
+  std::vector<std::uint32_t> fq(n);
+  for (std::size_t i = 0; i < n; ++i) fq[i] = zq::from_signed(f[i]);
+  const auto gq = zq::poly_mul(pk.h, fq, logn);
+  std::vector<std::int32_t> g(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::int32_t c = zq::center(gq[i]);
+    if (std::abs(c) > 2048) return std::nullopt;  // f is wrong
+    g[i] = c;
+  }
+
+  // Re-solve the NTRU equation for F, G -- the adversary runs the same
+  // public keygen machinery the victim did.
+  falcon::ZPoly zf(n), zg(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    zf[i] = BigInt(f[i]);
+    zg[i] = BigInt(g[i]);
+  }
+  auto sol = falcon::ntru_solve(zf, zg, falcon::kQ);
+  if (!sol) return std::nullopt;
+
+  falcon::SecretKey sk;
+  sk.params = pk.params;
+  sk.f.assign(f.begin(), f.end());
+  sk.g = std::move(g);
+  sk.big_f.resize(n);
+  sk.big_g.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!sol->big_f[i].fits_int64() || !sol->big_g[i].fits_int64()) return std::nullopt;
+    sk.big_f[i] = static_cast<std::int32_t>(sol->big_f[i].to_int64());
+    sk.big_g[i] = static_cast<std::int32_t>(sol->big_g[i].to_int64());
+  }
+  if (!falcon::expand_secret_key(sk)) return std::nullopt;
+  return sk;
+}
+
+namespace {
+
+// Attacks every component of one secret basis row (b01 for row 0, b11
+// for row 1) and returns the FFT-domain recovery plus diagnostics.
+struct RowComponents {
+  std::vector<Fpr> recovered;
+  std::vector<ComponentResult> results;
+  std::size_t correct = 0;
+};
+
+RowComponents attack_row_components(const falcon::KeyPair& victim,
+                                    const KeyRecoveryConfig& config, unsigned row) {
+  const std::size_t n = victim.sk.params.n;
+  const std::size_t hn = n >> 1;
+
+  sca::CampaignConfig camp;
+  camp.num_traces = config.num_traces;
+  camp.device = config.device;
+  camp.seed = config.seed;
+  camp.row = row;
+  const auto trace_sets = sca::run_full_campaign(victim.sk, camp);
+  const auto& secret_row = row == 0 ? victim.sk.b01 : victim.sk.b11;
+
+  RowComponents rc;
+  rc.recovered.resize(n);
+  rc.results.resize(n);
+  for (std::size_t slot = 0; slot < hn; ++slot) {
+    for (const bool imag : {false, true}) {
+      const std::size_t idx = slot + (imag ? hn : 0);
+      const Fpr truth = secret_row[idx];
+
+      const ComponentDataset ds = build_component_dataset(trace_sets[slot], imag);
+      ComponentAttackConfig cac;
+      cac.extend_top_k = config.extend_top_k;
+      if (row == 1) {
+        // FFT(F) components are larger than FFT(f)'s: shift the
+        // exponent prior/window accordingly (|F_i| ~ a few hundred).
+        cac.exp_prior = 1035;
+        cac.exp_max = 1060;
+      }
+      if (config.adversarial_random > 0) {
+        const KnownOperand split = KnownOperand::from(truth);
+        cac.low_candidates = MantissaCandidates::adversarial(
+            split.y0, /*high=*/false, config.adversarial_random, config.seed ^ (idx * 17));
+        cac.high_candidates = MantissaCandidates::adversarial(
+            split.y1, /*high=*/true, config.adversarial_random, config.seed ^ (idx * 31 + 1));
+      }
+      rc.results[idx] = attack_component(ds, cac);
+      rc.recovered[idx] = Fpr::from_bits(rc.results[idx].bits);
+    }
+  }
+  return rc;
+}
+
+// Exponent-alias repair on a recovered FFT row (see DESIGN.md): greedy
+// descent first on the additive magnitude excess (wrong exponents blow
+// components up by 2^(+-k)), then on the integrality residual.
+void repair_row(RowComponents& rc, unsigned logn, double magnitude_limit) {
+  const std::size_t n = std::size_t{1} << logn;
+  auto& recovered = rc.recovered;
+  auto& results = rc.results;
+
+  // Stage 1 metric: magnitude blowups (a wrong exponent scales its
+  // component by 2^(+-k), pushing time-domain values far outside the
+  // legal coefficient range). Strictly additive, so greedy descent on it
+  // is sound even with many simultaneous errors.
+  const auto magnitude_excess = [&](const std::vector<Fpr>& vec) {
+    std::vector<Fpr> tmp(vec);
+    fft::ifft(tmp, logn);
+    double sum = 0.0;
+    for (const auto& v : tmp) {
+      const double mag = std::fabs(v.to_double());
+      if (mag > magnitude_limit) sum += mag;
+    }
+    return sum;
+  };
+  // Stage 2 metric: distance to the integer lattice.
+  const auto integrality = [&](const std::vector<Fpr>& vec) {
+    std::vector<Fpr> tmp(vec);
+    fft::ifft(tmp, logn);
+    double sum = 0.0;
+    for (const auto& v : tmp) {
+      const double d = v.to_double();
+      const double frac = d - std::nearbyint(d);
+      sum += frac * frac;
+    }
+    return sum;
+  };
+  const auto greedy = [&](auto&& metric, double tol, double min_gain) {
+    double residual = metric(recovered);
+    for (int round = 0; round < 6 && residual > tol; ++round) {
+      bool improved = false;
+      for (std::size_t idx = 0; idx < n; ++idx) {
+        for (const auto& alt : results[idx].exp_phase.top) {
+          if (alt.guess == results[idx].exponent) continue;
+          const Fpr prev = recovered[idx];
+          recovered[idx] = Fpr::from_bits(
+              assemble_bits(results[idx].sign, alt.guess, results[idx].x1, results[idx].x0));
+          const double r2 = metric(recovered);
+          if (r2 < residual - min_gain) {
+            residual = r2;
+            results[idx].exponent = alt.guess;
+            improved = true;
+          } else {
+            recovered[idx] = prev;
+          }
+        }
+      }
+      if (!improved) break;
+    }
+    return residual;
+  };
+  greedy(magnitude_excess, /*tol=*/1e-9, /*min_gain=*/1.0);
+  greedy(integrality, /*tol=*/1e-6, /*min_gain=*/0.05);
+}
+
+}  // namespace
+
+RowRecoveryResult recover_row_poly(const falcon::KeyPair& victim,
+                                   const KeyRecoveryConfig& config, unsigned row) {
+  const unsigned logn = victim.sk.params.logn;
+  const std::size_t n = victim.sk.params.n;
+  const auto& secret_row = row == 0 ? victim.sk.b01 : victim.sk.b11;
+  const auto& true_poly = row == 0 ? victim.sk.f : victim.sk.big_f;
+
+  RowComponents rc = attack_row_components(victim, config, row);
+  repair_row(rc, logn, row == 0 ? 1024.0 : 4096.0);
+
+  RowRecoveryResult out;
+  out.components_total = n;
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    out.components_correct += rc.recovered[idx].bits() == secret_row[idx].bits();
+  }
+  fft::ifft(rc.recovered, logn);
+  out.poly.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.poly[i] = static_cast<std::int32_t>(-fpr::fpr_rint(rc.recovered[i]));
+  }
+  out.exact = std::equal(out.poly.begin(), out.poly.end(), true_poly.begin(), true_poly.end());
+  return out;
+}
+
+KeyRecoveryResult recover_key(const falcon::KeyPair& victim, const KeyRecoveryConfig& config) {
+  KeyRecoveryResult out;
+  out.components_total = victim.sk.params.n;
+
+  RowRecoveryResult f_row = recover_row_poly(victim, config, /*row=*/0);
+  out.components_correct = f_row.components_correct;
+  out.recovered_f = std::move(f_row.poly);
+  out.f_exact = f_row.exact;
+
+  // Complete the key and forge.
+  auto forged = forge_key(out.recovered_f, victim.pk);
+  if (forged) {
+    out.ntru_solved = true;
+    out.derived_g = forged->g;
+    ChaCha20Prng rng(config.seed ^ 0xF04C3);
+    const auto sig =
+        falcon::sign(*forged, "forged by the falcon-down adversary", rng);
+    out.forgery_verified =
+        falcon::verify(victim.pk, "forged by the falcon-down adversary", sig);
+  }
+  return out;
+}
+
+}  // namespace fd::attack

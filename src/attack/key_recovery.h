@@ -1,0 +1,72 @@
+#pragma once
+// Full key recovery and signature forging (the paper's end goal).
+//
+// The adversary attacks every component of FFT(-f) (n/2 complex slots,
+// real and imaginary part each), inverts the FFT (one-to-one), rounds to
+// the integer polynomial f, derives g = h*f mod q (small by
+// construction), re-solves the NTRU equation for F and G, rebuilds the
+// complete signing key, and signs arbitrary messages that verify under
+// the victim's *public* key.
+//
+// Hypothesis-space note (see DESIGN.md): with empty candidate lists the
+// attack enumerates the full 2^25/2^27 spaces per component exactly as
+// the paper describes (minutes of CPU per component on one core). The
+// default "adversarial candidate" mode evaluates the truth against its
+// entire shift-family (the false-positive sources) plus random fillers,
+// testing the extend-and-prune logic at full strength in bounded time.
+
+#include <optional>
+#include <vector>
+
+#include "attack/extend_prune.h"
+#include "falcon/falcon.h"
+#include "sca/campaign.h"
+
+namespace fd::attack {
+
+struct KeyRecoveryConfig {
+  std::size_t num_traces = 2000;
+  sca::DeviceConfig device;
+  std::size_t extend_top_k = 16;
+  // 0 => exhaustive enumeration; otherwise adversarial candidate count.
+  std::size_t adversarial_random = 150;
+  std::uint64_t seed = 1;
+};
+
+struct KeyRecoveryResult {
+  std::size_t components_total = 0;
+  std::size_t components_correct = 0;  // exact 64-bit matches
+  std::vector<std::int32_t> recovered_f;
+  std::vector<std::int32_t> derived_g;
+  bool f_exact = false;        // recovered f equals the victim's f
+  bool ntru_solved = false;    // F, G re-derived from (f, g)
+  bool forgery_verified = false;  // forged signature accepted by pk
+};
+
+// Runs the complete attack against a victim key (the victim secret is
+// used only to run the device and, in candidate mode, to build the
+// adversarial hypothesis sets).
+[[nodiscard]] KeyRecoveryResult recover_key(const falcon::KeyPair& victim,
+                                            const KeyRecoveryConfig& config);
+
+// Attacks a single basis row: row 0 recovers f (from the FFT(-f)
+// windows), row 1 recovers F (from the FFT(-F) windows -- the second
+// multiplication of Alg. 2 line 3). Recovering the F row independently
+// cross-validates the attack: together with f and the public key it must
+// satisfy the NTRU equation f*G - g*F = q.
+struct RowRecoveryResult {
+  std::size_t components_total = 0;
+  std::size_t components_correct = 0;
+  std::vector<std::int32_t> poly;  // f (row 0) or F (row 1)
+  bool exact = false;              // equals the victim's polynomial
+};
+[[nodiscard]] RowRecoveryResult recover_row_poly(const falcon::KeyPair& victim,
+                                                 const KeyRecoveryConfig& config, unsigned row);
+
+// Given a recovered f, completes the attack: derives g from the public
+// key, solves NTRU, expands a signing key, and checks a forged signature
+// against the victim public key. Returns the forged secret key on success.
+[[nodiscard]] std::optional<falcon::SecretKey> forge_key(std::span<const std::int32_t> f,
+                                                         const falcon::PublicKey& pk);
+
+}  // namespace fd::attack

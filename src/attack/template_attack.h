@@ -1,0 +1,70 @@
+#pragma once
+// Profiled (template) attack -- the Section V.A extension.
+//
+// The paper's attack is deliberately non-profiled; it notes that "it is
+// possible to extend our attack by template [20] ... profiling
+// techniques". This module implements that extension for the linear
+// Hamming-weight channel: the adversary first characterizes a *clone*
+// device running a key they chose (classical template setting), fitting
+// per-sample gain/offset/noise (alpha, beta, sigma); attacking the
+// victim then scores candidates by Gaussian log-likelihood across ALL
+// key-dependent samples of the window simultaneously -- mantissa
+// products and additions in one joint score -- instead of phase-by-phase
+// Pearson ranking. The payoff is a smaller trace budget (quantified in
+// bench_template_attack).
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "attack/extend_prune.h"
+#include "sca/device.h"
+
+namespace fd::attack {
+
+struct TemplatePoint {
+  double alpha = 0.0;
+  double beta = 0.0;
+  double sigma = 1.0;  // residual noise std after the linear fit
+};
+
+// One template per event offset of a multiplication block.
+struct DeviceProfile {
+  std::array<TemplatePoint, sca::window::kEventsPerMul> points;
+};
+
+// Characterizes the device from a profiling dataset whose secret
+// component is known to the adversary (their own key on the clone).
+[[nodiscard]] DeviceProfile profile_device(const ComponentDataset& ds,
+                                           fpr::Fpr known_secret);
+// Pooled profiling over several known components (one dataset each).
+// Needed to fit the offsets whose Hamming weight is constant for any
+// single component (e.g. the secret-exponent register load).
+[[nodiscard]] DeviceProfile profile_device_multi(std::span<const ComponentDataset> dss,
+                                                 std::span<const fpr::Fpr> known_secrets);
+
+// Joint log-likelihood template attack on one component of the victim.
+// Enumerates sign x exponent-window x mantissa candidates; mantissa
+// candidate lists as in ComponentAttackConfig.
+struct TemplateAttackResult {
+  bool sign = false;
+  unsigned exponent = 0;
+  std::uint32_t x0 = 0;
+  std::uint32_t x1 = 0;
+  std::uint64_t bits = 0;
+  double log_likelihood = 0.0;  // of the winning assembly
+};
+
+[[nodiscard]] TemplateAttackResult template_attack_component(
+    const ComponentDataset& ds, const DeviceProfile& profile,
+    const ComponentAttackConfig& config);
+
+// Log-likelihood of a full 64-bit candidate given the dataset + profile,
+// summed over the window's key-dependent samples (exposed for tests and
+// the MTD bench).
+[[nodiscard]] double template_log_likelihood(const ComponentDataset& ds,
+                                             const DeviceProfile& profile,
+                                             std::uint64_t candidate_bits,
+                                             std::size_t max_traces = 0);
+
+}  // namespace fd::attack

@@ -1,0 +1,15 @@
+#pragma once
+// Hex encoding helpers shared by tests, examples, and key/signature dumps.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace fd {
+
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> data);
+// Throws std::invalid_argument on odd length or non-hex characters.
+[[nodiscard]] std::vector<std::uint8_t> from_hex(std::string_view hex);
+
+}  // namespace fd

@@ -1,0 +1,113 @@
+#include "common/shake256.h"
+
+#include <bit>
+#include <cstring>
+
+namespace fd {
+namespace {
+
+constexpr std::uint64_t kRoundConstants[24] = {
+    0x0000000000000001ULL, 0x0000000000008082ULL, 0x800000000000808AULL,
+    0x8000000080008000ULL, 0x000000000000808BULL, 0x0000000080000001ULL,
+    0x8000000080008081ULL, 0x8000000000008009ULL, 0x000000000000008AULL,
+    0x0000000000000088ULL, 0x0000000080008009ULL, 0x000000008000000AULL,
+    0x000000008000808BULL, 0x800000000000008BULL, 0x8000000000008089ULL,
+    0x8000000000008003ULL, 0x8000000000008002ULL, 0x8000000000000080ULL,
+    0x000000000000800AULL, 0x800000008000000AULL, 0x8000000080008081ULL,
+    0x8000000000008080ULL, 0x0000000080000001ULL, 0x8000000080008008ULL};
+
+constexpr unsigned kRotations[25] = {0,  1,  62, 28, 27, 36, 44, 6,  55, 20, 3,  10, 43,
+                                     25, 39, 41, 45, 15, 21, 8,  18, 2,  61, 56, 14};
+
+void keccak_f1600(std::uint64_t a[25]) {
+  for (int round = 0; round < 24; ++round) {
+    // Theta
+    std::uint64_t c[5];
+    for (int x = 0; x < 5; ++x) {
+      c[x] = a[x] ^ a[x + 5] ^ a[x + 10] ^ a[x + 15] ^ a[x + 20];
+    }
+    for (int x = 0; x < 5; ++x) {
+      const std::uint64_t d = c[(x + 4) % 5] ^ std::rotl(c[(x + 1) % 5], 1);
+      for (int y = 0; y < 5; ++y) a[x + 5 * y] ^= d;
+    }
+    // Rho + Pi
+    std::uint64_t b[25];
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        b[y + 5 * ((2 * x + 3 * y) % 5)] = std::rotl(a[x + 5 * y], kRotations[x + 5 * y]);
+      }
+    }
+    // Chi
+    for (int x = 0; x < 5; ++x) {
+      for (int y = 0; y < 5; ++y) {
+        a[x + 5 * y] = b[x + 5 * y] ^ (~b[(x + 1) % 5 + 5 * y] & b[(x + 2) % 5 + 5 * y]);
+      }
+    }
+    // Iota
+    a[0] ^= kRoundConstants[round];
+  }
+}
+
+}  // namespace
+
+void Shake256::reset() {
+  std::memset(state_, 0, sizeof state_);
+  pos_ = 0;
+  squeezing_ = false;
+}
+
+void Shake256::inject(std::span<const std::uint8_t> data) {
+  for (const std::uint8_t byte : data) {
+    state_[pos_ / 8] ^= static_cast<std::uint64_t>(byte) << (8 * (pos_ % 8));
+    if (++pos_ == kRate) {
+      keccak_f1600(state_);
+      pos_ = 0;
+    }
+  }
+}
+
+void Shake256::inject(std::string_view s) {
+  inject(std::span<const std::uint8_t>(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+void Shake256::flip() {
+  // SHAKE domain separation (0x1F) and final padding bit.
+  state_[pos_ / 8] ^= std::uint64_t{0x1F} << (8 * (pos_ % 8));
+  state_[(kRate - 1) / 8] ^= std::uint64_t{0x80} << (8 * ((kRate - 1) % 8));
+  keccak_f1600(state_);
+  pos_ = 0;
+  squeezing_ = true;
+}
+
+void Shake256::extract(std::span<std::uint8_t> out) {
+  for (std::uint8_t& byte : out) {
+    if (pos_ == kRate) {
+      keccak_f1600(state_);
+      pos_ = 0;
+    }
+    byte = static_cast<std::uint8_t>(state_[pos_ / 8] >> (8 * (pos_ % 8)));
+    ++pos_;
+  }
+}
+
+std::uint8_t Shake256::extract_u8() {
+  std::uint8_t b = 0;
+  extract({&b, 1});
+  return b;
+}
+
+std::uint16_t Shake256::extract_u16_be() {
+  std::uint8_t b[2];
+  extract(b);
+  return static_cast<std::uint16_t>((b[0] << 8) | b[1]);
+}
+
+std::uint64_t Shake256::extract_u64() {
+  std::uint8_t b[8];
+  extract(b);
+  std::uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | b[i];
+  return v;
+}
+
+}  // namespace fd

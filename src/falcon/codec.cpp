@@ -1,0 +1,298 @@
+#include "falcon/codec.h"
+
+#include <cstring>
+
+#include "falcon/keygen.h"
+
+namespace fd::falcon {
+
+namespace {
+
+class BitWriter {
+ public:
+  explicit BitWriter(std::size_t max_bytes) : max_bytes_(max_bytes) {}
+
+  // Returns false on overflow.
+  [[nodiscard]] bool put(unsigned bit) {
+    const std::size_t byte = pos_ / 8;
+    if (byte >= max_bytes_) return false;
+    if (byte >= buf_.size()) buf_.push_back(0);
+    if (bit) buf_[byte] |= static_cast<std::uint8_t>(0x80U >> (pos_ % 8));
+    ++pos_;
+    return true;
+  }
+  [[nodiscard]] bool put_bits(std::uint32_t value, unsigned count) {
+    for (unsigned i = count; i-- > 0;) {
+      if (!put((value >> i) & 1U)) return false;
+    }
+    return true;
+  }
+  [[nodiscard]] std::vector<std::uint8_t> finish() {
+    buf_.resize(max_bytes_, 0);
+    return std::move(buf_);
+  }
+
+ private:
+  std::size_t max_bytes_;
+  std::size_t pos_ = 0;
+  std::vector<std::uint8_t> buf_;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> bytes) : bytes_(bytes) {}
+
+  // Returns -1 past the end.
+  [[nodiscard]] int get() {
+    const std::size_t byte = pos_ / 8;
+    if (byte >= bytes_.size()) return -1;
+    const int bit = (bytes_[byte] >> (7 - pos_ % 8)) & 1;
+    ++pos_;
+    return bit;
+  }
+  // All remaining bits must be zero padding.
+  [[nodiscard]] bool rest_is_zero() {
+    int b;
+    while ((b = get()) >= 0) {
+      if (b != 0) return false;
+    }
+    return true;
+  }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::optional<std::vector<std::uint8_t>> compress_s2(std::span<const std::int16_t> s2,
+                                                     std::size_t max_bytes) {
+  BitWriter w(max_bytes);
+  for (const std::int16_t coeff : s2) {
+    if (coeff <= -2048 || coeff >= 2048) return std::nullopt;
+    const unsigned sign = coeff < 0;
+    const std::uint32_t mag = static_cast<std::uint32_t>(sign ? -coeff : coeff);
+    if (!w.put(sign)) return std::nullopt;
+    if (!w.put_bits(mag & 0x7F, 7)) return std::nullopt;
+    for (std::uint32_t k = mag >> 7; k > 0; --k) {
+      if (!w.put(0)) return std::nullopt;
+    }
+    if (!w.put(1)) return std::nullopt;
+  }
+  return w.finish();
+}
+
+std::optional<std::vector<std::int16_t>> decompress_s2(std::span<const std::uint8_t> bytes,
+                                                       std::size_t n) {
+  BitReader r(bytes);
+  std::vector<std::int16_t> s2(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int sign = r.get();
+    if (sign < 0) return std::nullopt;
+    std::uint32_t mag = 0;
+    for (int b = 0; b < 7; ++b) {
+      const int bit = r.get();
+      if (bit < 0) return std::nullopt;
+      mag = (mag << 1) | static_cast<std::uint32_t>(bit);
+    }
+    std::uint32_t high = 0;
+    for (;;) {
+      const int bit = r.get();
+      if (bit < 0) return std::nullopt;
+      if (bit) break;
+      if (++high > 15) return std::nullopt;  // |s| would exceed 2047
+    }
+    mag |= high << 7;
+    if (sign == 1 && mag == 0) return std::nullopt;  // non-canonical -0
+    s2[i] = static_cast<std::int16_t>(sign ? -static_cast<std::int32_t>(mag)
+                                           : static_cast<std::int32_t>(mag));
+  }
+  if (!r.rest_is_zero()) return std::nullopt;
+  return s2;
+}
+
+std::optional<std::vector<std::uint8_t>> encode_signature(const Signature& sig,
+                                                          const Params& params) {
+  const std::size_t body = params.sig_bytes - 1 - kSaltBytes;
+  auto comp = compress_s2(sig.s2, body);
+  if (!comp) return std::nullopt;
+  std::vector<std::uint8_t> out;
+  out.reserve(params.sig_bytes);
+  out.push_back(static_cast<std::uint8_t>(0x30 + params.logn));
+  out.insert(out.end(), sig.salt, sig.salt + kSaltBytes);
+  out.insert(out.end(), comp->begin(), comp->end());
+  return out;
+}
+
+std::optional<Signature> decode_signature(std::span<const std::uint8_t> bytes,
+                                          const Params& params) {
+  if (bytes.size() != params.sig_bytes) return std::nullopt;
+  if (bytes[0] != 0x30 + params.logn) return std::nullopt;
+  Signature sig;
+  std::memcpy(sig.salt, bytes.data() + 1, kSaltBytes);
+  auto s2 = decompress_s2(bytes.subspan(1 + kSaltBytes), params.n);
+  if (!s2) return std::nullopt;
+  sig.s2 = std::move(*s2);
+  return sig;
+}
+
+std::vector<std::uint8_t> encode_public_key(const PublicKey& pk) {
+  std::vector<std::uint8_t> out;
+  out.push_back(static_cast<std::uint8_t>(0x00 + pk.params.logn));
+  std::uint32_t acc = 0;
+  unsigned acc_bits = 0;
+  for (const std::uint32_t c : pk.h) {
+    acc = (acc << 14) | (c & 0x3FFF);
+    acc_bits += 14;
+    while (acc_bits >= 8) {
+      acc_bits -= 8;
+      out.push_back(static_cast<std::uint8_t>(acc >> acc_bits));
+    }
+  }
+  if (acc_bits > 0) {
+    out.push_back(static_cast<std::uint8_t>(acc << (8 - acc_bits)));
+  }
+  return out;
+}
+
+std::optional<PublicKey> decode_public_key(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) return std::nullopt;
+  const unsigned logn = bytes[0];
+  if (logn < 2 || logn > 10) return std::nullopt;
+  PublicKey pk;
+  pk.params = Params::get(logn);
+  const std::size_t expect = 1 + (pk.params.n * 14 + 7) / 8;
+  if (bytes.size() != expect) return std::nullopt;
+  pk.h.resize(pk.params.n);
+  std::uint32_t acc = 0;
+  unsigned acc_bits = 0;
+  std::size_t pos = 1;
+  for (auto& c : pk.h) {
+    while (acc_bits < 14) {
+      acc = (acc << 8) | bytes[pos++];
+      acc_bits += 8;
+    }
+    acc_bits -= 14;
+    c = (acc >> acc_bits) & 0x3FFF;
+    if (c >= kQ) return std::nullopt;
+  }
+  if ((acc & ((1U << acc_bits) - 1)) != 0) return std::nullopt;  // padding
+  return pk;
+}
+
+namespace {
+
+void put_i16(std::vector<std::uint8_t>& out, std::int32_t v) {
+  const std::uint16_t u = static_cast<std::uint16_t>(static_cast<std::int16_t>(v));
+  out.push_back(static_cast<std::uint8_t>(u));
+  out.push_back(static_cast<std::uint8_t>(u >> 8));
+}
+
+std::int32_t get_i16(std::span<const std::uint8_t> bytes, std::size_t idx) {
+  const std::uint16_t u =
+      static_cast<std::uint16_t>(bytes[2 * idx] | (bytes[2 * idx + 1] << 8));
+  return static_cast<std::int16_t>(u);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> encode_secret_key(const SecretKey& sk) {
+  std::vector<std::uint8_t> out;
+  out.reserve(1 + 8 * sk.params.n);
+  out.push_back(static_cast<std::uint8_t>(0x50 + sk.params.logn));
+  for (const auto* poly : {&sk.f, &sk.g, &sk.big_f, &sk.big_g}) {
+    for (const std::int32_t c : *poly) put_i16(out, c);
+  }
+  return out;
+}
+
+std::optional<SecretKey> decode_secret_key(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) return std::nullopt;
+  if (bytes[0] < 0x50) return std::nullopt;
+  const unsigned logn = bytes[0] - 0x50;
+  if (logn < 2 || logn > 10) return std::nullopt;
+  SecretKey sk;
+  sk.params = Params::get(logn);
+  if (bytes.size() != 1 + 8 * sk.params.n) return std::nullopt;
+  const auto body = bytes.subspan(1);
+  sk.f.resize(sk.params.n);
+  sk.g.resize(sk.params.n);
+  sk.big_f.resize(sk.params.n);
+  sk.big_g.resize(sk.params.n);
+  for (std::size_t i = 0; i < sk.params.n; ++i) {
+    sk.f[i] = get_i16(body, i);
+    sk.g[i] = get_i16(body, sk.params.n + i);
+    sk.big_f[i] = get_i16(body, 2 * sk.params.n + i);
+    sk.big_g[i] = get_i16(body, 3 * sk.params.n + i);
+  }
+  if (!expand_secret_key(sk)) return std::nullopt;
+  return sk;
+}
+
+std::vector<std::uint8_t> encode_secret_key_compact(const SecretKey& sk) {
+  std::vector<std::uint8_t> out;
+  out.push_back(static_cast<std::uint8_t>(0x60 + sk.params.logn));
+  for (const auto* poly : {&sk.f, &sk.g, &sk.big_f, &sk.big_g}) {
+    // Minimum two's-complement width covering every coefficient.
+    unsigned w = 2;
+    for (const std::int32_t c : *poly) {
+      while (c < -(1 << (w - 1)) || c >= (1 << (w - 1))) ++w;
+    }
+    out.push_back(static_cast<std::uint8_t>(w));
+    std::uint32_t acc = 0;
+    unsigned acc_bits = 0;
+    for (const std::int32_t c : *poly) {
+      const std::uint32_t u = static_cast<std::uint32_t>(c) & ((1U << w) - 1);
+      acc = (acc << w) | u;
+      acc_bits += w;
+      while (acc_bits >= 8) {
+        acc_bits -= 8;
+        out.push_back(static_cast<std::uint8_t>(acc >> acc_bits));
+      }
+    }
+    if (acc_bits > 0) out.push_back(static_cast<std::uint8_t>(acc << (8 - acc_bits)));
+  }
+  return out;
+}
+
+std::optional<SecretKey> decode_secret_key_compact(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty() || bytes[0] < 0x60) return std::nullopt;
+  const unsigned logn = bytes[0] - 0x60;
+  if (logn < 2 || logn > 10) return std::nullopt;
+  SecretKey sk;
+  sk.params = Params::get(logn);
+  const std::size_t n = sk.params.n;
+
+  std::size_t pos = 1;
+  std::vector<std::int32_t>* polys[4] = {&sk.f, &sk.g, &sk.big_f, &sk.big_g};
+  for (auto* poly : polys) {
+    if (pos >= bytes.size()) return std::nullopt;
+    const unsigned w = bytes[pos++];
+    if (w < 2 || w > 16) return std::nullopt;
+    const std::size_t body = (n * w + 7) / 8;
+    if (pos + body > bytes.size()) return std::nullopt;
+    poly->resize(n);
+    std::uint32_t acc = 0;
+    unsigned acc_bits = 0;
+    std::size_t byte = pos;
+    for (std::size_t i = 0; i < n; ++i) {
+      while (acc_bits < w) {
+        acc = (acc << 8) | bytes[byte++];
+        acc_bits += 8;
+      }
+      acc_bits -= w;
+      const std::uint32_t u = (acc >> acc_bits) & ((1U << w) - 1);
+      // Sign-extend w-bit two's complement.
+      const std::int32_t v = static_cast<std::int32_t>(u << (32 - w)) >> (32 - w);
+      (*poly)[i] = v;
+    }
+    if ((acc & ((1U << acc_bits) - 1)) != 0) return std::nullopt;  // padding
+    pos += body;
+  }
+  if (pos != bytes.size()) return std::nullopt;
+  if (!expand_secret_key(sk)) return std::nullopt;
+  return sk;
+}
+
+}  // namespace fd::falcon

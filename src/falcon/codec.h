@@ -1,0 +1,60 @@
+#pragma once
+// Encoders/decoders: Golomb-Rice signature compression (spec Alg. 17/18)
+// and key serialization.
+//
+// Each s2 coefficient is emitted as: sign bit, 7 low magnitude bits,
+// then the remaining magnitude in unary (k zeros and a terminating 1).
+// Decompression is strict: it rejects overlong unary runs, negative
+// zero, and any nonzero padding bits, so decode(encode(x)) == x and
+// malformed inputs fail rather than alias.
+//
+// Container formats (header byte + fixed-width fields) follow the spec's
+// shape; for non-standard toy logn the field widths are documented
+// deviations (16-bit coefficients) since the spec only defines the
+// standard sets.
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "falcon/keys.h"
+#include "falcon/sign.h"
+
+namespace fd::falcon {
+
+// Compresses s2 into at most max_bytes (zero-padded to exactly
+// max_bytes); returns nullopt if it does not fit.
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> compress_s2(
+    std::span<const std::int16_t> s2, std::size_t max_bytes);
+
+// Inverse of compress_s2; nullopt on any malformed input.
+[[nodiscard]] std::optional<std::vector<std::int16_t>> decompress_s2(
+    std::span<const std::uint8_t> bytes, std::size_t n);
+
+// Full signature container: [0x30 + logn][salt][compressed s2],
+// sig_bytes total.
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> encode_signature(const Signature& sig,
+                                                                        const Params& params);
+[[nodiscard]] std::optional<Signature> decode_signature(std::span<const std::uint8_t> bytes,
+                                                        const Params& params);
+
+// Public key: [0x00 + logn][h packed 14 bits per coefficient].
+[[nodiscard]] std::vector<std::uint8_t> encode_public_key(const PublicKey& pk);
+[[nodiscard]] std::optional<PublicKey> decode_public_key(std::span<const std::uint8_t> bytes);
+
+// Secret key: [0x50 + logn][f][g][F][G], 16-bit little-endian signed
+// coefficients. Decoding re-derives the FFT basis and sampling tree.
+[[nodiscard]] std::vector<std::uint8_t> encode_secret_key(const SecretKey& sk);
+[[nodiscard]] std::optional<SecretKey> decode_secret_key(std::span<const std::uint8_t> bytes);
+
+// Compact secret key, in the spirit of the spec's per-set bit widths:
+// [0x60 + logn] then, for each of f, g, F, G, a width byte w followed by
+// the n coefficients packed as w-bit two's complement (w chosen per
+// polynomial as the minimum that fits). ~60% smaller than the 16-bit
+// container for the standard sets.
+[[nodiscard]] std::vector<std::uint8_t> encode_secret_key_compact(const SecretKey& sk);
+[[nodiscard]] std::optional<SecretKey> decode_secret_key_compact(
+    std::span<const std::uint8_t> bytes);
+
+}  // namespace fd::falcon

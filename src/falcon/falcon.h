@@ -1,0 +1,16 @@
+#pragma once
+// Umbrella header for the FALCON implementation.
+//
+// Quickstart:
+//   fd::ChaCha20Prng rng("my seed");
+//   auto kp  = fd::falcon::keygen(9, rng);           // FALCON-512
+//   auto sig = fd::falcon::sign(kp.sk, "msg", rng);
+//   bool ok  = fd::falcon::verify(kp.pk, "msg", sig);
+
+#include "falcon/codec.h"    // IWYU pragma: export
+#include "falcon/keygen.h"   // IWYU pragma: export
+#include "falcon/keys.h"     // IWYU pragma: export
+#include "falcon/params.h"   // IWYU pragma: export
+#include "falcon/sampler.h"  // IWYU pragma: export
+#include "falcon/sign.h"     // IWYU pragma: export
+#include "falcon/tree.h"     // IWYU pragma: export

@@ -1,0 +1,28 @@
+#pragma once
+// FALCON key generation (spec Alg. 5).
+//
+// Samples small Gaussian f, g; rejects pairs whose Gram-Schmidt norm
+// would degrade signature security or whose f is not invertible mod q;
+// solves the NTRU equation for F, G; and precomputes the FFT basis and
+// the ffLDL* tree that signing consumes.
+
+#include "common/rng.h"
+#include "falcon/keys.h"
+
+namespace fd::falcon {
+
+// Generates a key pair for the given parameter set. Retries internally
+// until all keygen checks pass (a handful of iterations in expectation).
+[[nodiscard]] KeyPair keygen(unsigned logn, RandomSource& rng);
+
+// Rebuilds the FFT basis and sampling tree from (f, g, F, G) -- used by
+// key decoding and by the attacker after recovering the polynomials.
+// Returns false if the tree's leaf sigmas fall outside the sampler's
+// admissible range (never happens for honestly generated keys).
+[[nodiscard]] bool expand_secret_key(SecretKey& sk);
+
+// Computes h = g * f^(-1) mod q; returns false when f is not invertible.
+[[nodiscard]] bool compute_public_key(PublicKey& pk, std::span<const std::int32_t> f,
+                                      std::span<const std::int32_t> g, unsigned logn);
+
+}  // namespace fd::falcon

@@ -1,0 +1,46 @@
+#pragma once
+// FALCON key material.
+//
+// The secret key stores the four NTRU polynomials (f, g, F, G) plus the
+// precomputed signing data: the FFT-domain basis
+//     B = [[g, -f], [G, -F]]
+// and the ffLDL* tree T whose leaves hold the per-level Gaussian widths
+// used by ffSampling (spec: sk = (B-hat, T)). The public key is
+// h = g * f^(-1) mod q.
+
+#include <cstdint>
+#include <vector>
+
+#include "falcon/params.h"
+#include "fft/fft.h"
+
+namespace fd::falcon {
+
+// Flat ffLDL* tree storage: a node at logn has 2^logn Fpr of value
+// (l10 in FFT representation) followed by the left (d00) and right (d11)
+// subtrees; a logn==0 leaf is a single Fpr holding sigma/sqrt(d).
+[[nodiscard]] constexpr std::size_t tree_size(unsigned logn) {
+  return (static_cast<std::size_t>(logn) + 1) << logn;
+}
+
+struct SecretKey {
+  Params params;
+  std::vector<std::int32_t> f, g;          // small NTRU polynomials
+  std::vector<std::int32_t> big_f, big_g;  // F, G solving fG - gF = q
+  // FFT-domain basis rows: b00 = FFT(g), b01 = FFT(-f),
+  //                        b10 = FFT(G), b11 = FFT(-F).
+  fft::PolyFft b00, b01, b10, b11;
+  std::vector<fpr::Fpr> tree;  // ffLDL* tree, leaves normalized to sigmas
+};
+
+struct PublicKey {
+  Params params;
+  std::vector<std::uint32_t> h;  // coefficients in [0, q)
+};
+
+struct KeyPair {
+  SecretKey sk;
+  PublicKey pk;
+};
+
+}  // namespace fd::falcon

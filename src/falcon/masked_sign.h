@@ -1,0 +1,35 @@
+#pragma once
+// Two-share masked signing -- the Section V.B countermeasure direction.
+//
+// The paper notes that masking "does not yet exist for FALCON -- such an
+// implementation can be considered by the FALCON team". This module
+// implements the natural first-order masking of the *attacked*
+// computation: for every signing query the secret basis rows are split
+// into two additive shares with a fresh uniform mask,
+//     b = m + (b - m),
+// and t = FFT(c) (.) b is computed as FFT(c) (.) m + FFT(c) (.) (b - m).
+// No single floating-point multiplication touches a key-dependent
+// operand, so the paper's CPA sees only mask-randomized intermediates.
+//
+// Scope: this masks the t-computation (Alg. 2 line 3), the paper's
+// leakage target. The ffSampling stage processes t and the tree and
+// would need its own (much harder) masking for full first-order
+// protection; that is exactly the open problem the paper points at.
+//
+// Cost: 2x the multiplications plus n additions per row, and a tiny
+// floating-point perturbation of t (the shares round independently);
+// the signature remains valid because ffSampling tolerates target
+// perturbations far below the Gaussian width.
+
+#include "common/rng.h"
+#include "falcon/keys.h"
+#include "falcon/sign.h"
+
+namespace fd::falcon {
+
+// Drop-in replacement for sign(); same output distribution up to
+// floating-point rounding of the shares.
+[[nodiscard]] Signature sign_masked(const SecretKey& sk, std::string_view message,
+                                    RandomSource& rng);
+
+}  // namespace fd::falcon

@@ -1,0 +1,229 @@
+#include "falcon/ntru_solve.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "fft/fft.h"
+
+namespace fd::falcon {
+
+using fpr::Fpr;
+
+ZPoly zpoly_mul(const ZPoly& a, const ZPoly& b) {
+  const std::size_t n = a.size();
+  assert(b.size() == n);
+  ZPoly r(n, BigInt(0));
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i].is_zero()) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (b[j].is_zero()) continue;
+      const BigInt p = a[i] * b[j];
+      const std::size_t k = i + j;
+      if (k < n) {
+        r[k] += p;
+      } else {
+        r[k - n] -= p;
+      }
+    }
+  }
+  return r;
+}
+
+ZPoly zpoly_add(const ZPoly& a, const ZPoly& b) {
+  ZPoly r = a;
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] += b[i];
+  return r;
+}
+
+ZPoly zpoly_sub(const ZPoly& a, const ZPoly& b) {
+  ZPoly r = a;
+  for (std::size_t i = 0; i < r.size(); ++i) r[i] -= b[i];
+  return r;
+}
+
+ZPoly zpoly_galois_conjugate(const ZPoly& f) {
+  ZPoly r = f;
+  for (std::size_t i = 1; i < r.size(); i += 2) r[i] = -r[i];
+  return r;
+}
+
+ZPoly zpoly_field_norm(const ZPoly& f) {
+  const std::size_t n = f.size();
+  assert(n >= 2 && n % 2 == 0);
+  const std::size_t hn = n / 2;
+  ZPoly fe(hn), fo(hn);
+  for (std::size_t i = 0; i < hn; ++i) {
+    fe[i] = f[2 * i];
+    fo[i] = f[2 * i + 1];
+  }
+  // N(f)(y) = fe(y)^2 - y * fo(y)^2  in Z[y]/(y^hn + 1).
+  ZPoly r = zpoly_mul(fe, fe);
+  const ZPoly fo2 = zpoly_mul(fo, fo);
+  // Multiply fo2 by y (negacyclic shift) and subtract.
+  r[0] += fo2[hn - 1];  // y * y^(hn-1) = y^hn = -1, so -( -fo2[hn-1] ) = +
+  for (std::size_t i = 1; i < hn; ++i) r[i] -= fo2[i - 1];
+  return r;
+}
+
+ZPoly zpoly_lift(const ZPoly& f) {
+  ZPoly r(f.size() * 2, BigInt(0));
+  for (std::size_t i = 0; i < f.size(); ++i) r[2 * i] = f[i];
+  return r;
+}
+
+std::size_t zpoly_max_bitlen(const ZPoly& f) {
+  std::size_t m = 0;
+  for (const auto& c : f) m = std::max(m, c.bit_length());
+  return m;
+}
+
+namespace {
+
+// Top-53-bits approximation of c / 2^shift as a double.
+double approx_shifted(const BigInt& c, std::size_t shift) {
+  if (shift == 0) return c.to_double();
+  BigInt t = c;
+  t >>= shift;
+  return t.to_double();
+}
+
+unsigned logn_of(std::size_t n) {
+  unsigned logn = 0;
+  while ((std::size_t{1} << logn) < n) ++logn;
+  return logn;
+}
+
+// One Babai round at n == 1: exact nearest-integer quotient.
+bool reduce_once_deg1(BigInt& big_f, BigInt& big_g, const BigInt& f, const BigInt& g) {
+  const BigInt num = big_f * f + big_g * g;
+  const BigInt den = f * f + g * g;
+  // k = round(num / den), exact.
+  const BigInt two_num = num + num;
+  BigInt k = (two_num + den) / (den + den);
+  // C-style truncation differs for negatives: recompute via floor-style.
+  if (two_num < -den) {
+    // floor((2num + den) / (2den)) for negative operands.
+    const BigInt d2 = den + den;
+    auto [q, r] = BigInt::divmod(two_num + den, d2);
+    if (!r.is_zero() && r.is_negative()) q -= BigInt(1);
+    k = q;
+  }
+  if (k.is_zero()) return false;
+  big_f -= k * f;
+  big_g -= k * g;
+  return true;
+}
+
+}  // namespace
+
+int zpoly_reduce(ZPoly& big_f, ZPoly& big_g, const ZPoly& f, const ZPoly& g) {
+  const std::size_t n = f.size();
+  int rounds = 0;
+
+  if (n == 1) {
+    while (reduce_once_deg1(big_f[0], big_g[0], f[0], g[0])) {
+      if (++rounds > 200) break;
+    }
+    return rounds;
+  }
+
+  const unsigned logn = logn_of(n);
+  // FFT of (f, g) at their natural scale, reused every round.
+  const std::size_t bl_fg = std::max<std::size_t>(zpoly_max_bitlen(f), zpoly_max_bitlen(g));
+  const std::size_t sc_fg = bl_fg > 53 ? bl_fg - 53 : 0;
+  std::vector<Fpr> ft(n), gt(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ft[i] = Fpr::from_double(approx_shifted(f[i], sc_fg));
+    gt[i] = Fpr::from_double(approx_shifted(g[i], sc_fg));
+  }
+  fft::fft(ft, logn);
+  fft::fft(gt, logn);
+  // den = f*adj(f) + g*adj(g) (real per slot).
+  std::vector<Fpr> den(n);
+  {
+    auto f2 = ft;
+    auto g2 = gt;
+    fft::poly_mulselfadj_fft(f2, logn);
+    fft::poly_mulselfadj_fft(g2, logn);
+    for (std::size_t i = 0; i < n; ++i) den[i] = fpr::fpr_add(f2[i], g2[i]);
+  }
+
+  for (;;) {
+    const std::size_t bl_FG =
+        std::max<std::size_t>(zpoly_max_bitlen(big_f), zpoly_max_bitlen(big_g));
+    const std::size_t sc_FG = bl_FG > 53 ? bl_FG - 53 : 0;
+    const std::size_t shift = sc_FG > sc_fg ? sc_FG - sc_fg : 0;
+
+    std::vector<Fpr> Ft(n), Gt(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      Ft[i] = Fpr::from_double(approx_shifted(big_f[i], sc_FG));
+      Gt[i] = Fpr::from_double(approx_shifted(big_g[i], sc_FG));
+    }
+    fft::fft(Ft, logn);
+    fft::fft(Gt, logn);
+
+    // num = F*adj(f) + G*adj(g); k = rint(num / den) slot-wise.
+    std::vector<Fpr> num(n);
+    fft::poly_add_muladj_fft(num, Ft, ft, Gt, gt, logn);
+    fft::poly_div_autoadj_fft(num, den, logn);
+    fft::ifft(num, logn);
+
+    ZPoly k(n, BigInt(0));
+    bool any = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double kv = num[i].to_double();
+      // Clamp defensively; the quotient is O(1) at matching scales.
+      const double clamped = std::fmin(std::fmax(kv, -1e15), 1e15);
+      const std::int64_t ki = std::llrint(clamped);
+      if (ki != 0) any = true;
+      k[i] = BigInt(ki);
+    }
+    if (!any) break;
+
+    // (F, G) -= (k * 2^shift) * (f, g).
+    ZPoly kf = zpoly_mul(k, f);
+    ZPoly kg = zpoly_mul(k, g);
+    const std::size_t before = std::max(zpoly_max_bitlen(big_f), zpoly_max_bitlen(big_g));
+    for (std::size_t i = 0; i < n; ++i) {
+      kf[i] <<= shift;
+      kg[i] <<= shift;
+      big_f[i] -= kf[i];
+      big_g[i] -= kg[i];
+    }
+    ++rounds;
+    const std::size_t after = std::max(zpoly_max_bitlen(big_f), zpoly_max_bitlen(big_g));
+    if (after >= before && shift == 0) break;  // no further progress possible
+    if (rounds > 2000) break;                  // defensive cap
+  }
+  return rounds;
+}
+
+std::optional<NtruSolution> ntru_solve(const ZPoly& f, const ZPoly& g, std::uint32_t q) {
+  const std::size_t n = f.size();
+  assert(g.size() == n);
+
+  if (n == 1) {
+    const auto [d, u, v] = BigInt::xgcd(f[0], g[0]);
+    if (d != BigInt(1)) return std::nullopt;
+    // u*f + v*g = 1  =>  f*(u*q) - g*(-v*q) = q.
+    NtruSolution sol;
+    sol.big_g = {u * BigInt(static_cast<std::int64_t>(q))};
+    sol.big_f = {-(v * BigInt(static_cast<std::int64_t>(q)))};
+    zpoly_reduce(sol.big_f, sol.big_g, f, g);
+    return sol;
+  }
+
+  const ZPoly fp = zpoly_field_norm(f);
+  const ZPoly gp = zpoly_field_norm(g);
+  auto sub = ntru_solve(fp, gp, q);
+  if (!sub) return std::nullopt;
+
+  // F = F'(x^2) * g(-x);  G = G'(x^2) * f(-x).
+  NtruSolution sol;
+  sol.big_f = zpoly_mul(zpoly_lift(sub->big_f), zpoly_galois_conjugate(g));
+  sol.big_g = zpoly_mul(zpoly_lift(sub->big_g), zpoly_galois_conjugate(f));
+  zpoly_reduce(sol.big_f, sol.big_g, f, g);
+  return sol;
+}
+
+}  // namespace fd::falcon

@@ -1,0 +1,42 @@
+#include "falcon/params.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace fd::falcon {
+
+Params Params::get(unsigned logn) {
+  assert(logn >= 2 && logn <= 10);
+  Params p;
+  p.logn = logn;
+  p.n = std::size_t{1} << logn;
+
+  // Smoothing parameter eta_epsilon(Z^2n) with epsilon = 1/sqrt(q_s *
+  // lambda), q_s = 2^64 signature queries and lambda the security target
+  // (128 up to FALCON-512, 256 for FALCON-1024; spec section 2.5.3):
+  // reproduces the spec's sigma_min of 1.277833697 / 1.298280334.
+  const double lambda = (logn == 10) ? 256.0 : 128.0;
+  const double inv_eps = std::sqrt(0x1.0p64 * lambda);
+  const double eta =
+      (1.0 / M_PI) * std::sqrt(std::log(4.0 * static_cast<double>(p.n) * (1.0 + inv_eps)) / 2.0);
+  p.sigma_min = eta;
+  p.sigma = eta * 1.17 * std::sqrt(static_cast<double>(kQ));
+  p.sigma_fg = 1.17 * std::sqrt(static_cast<double>(kQ) / (2.0 * static_cast<double>(p.n)));
+
+  const double beta = 1.1 * p.sigma * std::sqrt(2.0 * static_cast<double>(p.n));
+  p.bound_sq = static_cast<std::uint64_t>(beta * beta);
+
+  // Compressed-signature container sizes: spec values for the standard
+  // sets, a proportional budget (~9.77 bits/coefficient + overhead)
+  // otherwise.
+  switch (logn) {
+    case 9: p.sig_bytes = 666; break;
+    case 10: p.sig_bytes = 1280; break;
+    default:
+      p.sig_bytes = 1 + kSaltBytes + (p.n * 10 + 7) / 8 + 4;
+      break;
+  }
+  return p;
+}
+
+}  // namespace fd::falcon

@@ -1,0 +1,41 @@
+#pragma once
+// FALCON parameter sets.
+//
+// The two standardized instances are logn = 9 (FALCON-512) and logn = 10
+// (FALCON-1024). Smaller logn give "toy" instances with the same
+// structure; the paper notes the attack is parameter-independent because
+// both instances share the floating-point arithmetic, so tests and
+// end-to-end attack demos use reduced n while benches report the real
+// sets where practical.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace fd::falcon {
+
+inline constexpr std::uint32_t kQ = 12289;
+inline constexpr std::size_t kSaltBytes = 40;  // 320-bit salt r
+
+struct Params {
+  unsigned logn = 0;
+  std::size_t n = 0;
+
+  // Standard deviation of the ffSampling Gaussian (spec: eta * 1.17 * sqrt(q)).
+  double sigma = 0.0;
+  // Smoothing-parameter lower bound for per-leaf sigmas.
+  double sigma_min = 0.0;
+  // Upper bound on per-leaf sigmas; also the base-sampler deviation.
+  double sigma_max = 1.8205;
+  // Keygen deviation for f, g coefficients: 1.17 * sqrt(q / (2n)).
+  double sigma_fg = 0.0;
+  // Squared acceptance bound floor(beta^2), beta = 1.1 * sigma * sqrt(2n).
+  std::uint64_t bound_sq = 0;
+  // Total signature size in bytes (header + salt + compressed s2).
+  std::size_t sig_bytes = 0;
+
+  // Returns the parameter set for 2 <= logn <= 10. Values for logn 9 and
+  // 10 match the FALCON specification; other sizes use the same formulas.
+  [[nodiscard]] static Params get(unsigned logn);
+};
+
+}  // namespace fd::falcon

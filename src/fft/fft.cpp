@@ -1,0 +1,342 @@
+#include "fft/fft.h"
+
+#include <array>
+#include <cassert>
+#include <cmath>
+
+namespace fd::fft {
+
+using fpr::fpr_add;
+using fpr::fpr_div;
+using fpr::fpr_half;
+using fpr::fpr_inv;
+using fpr::fpr_mul;
+using fpr::fpr_neg;
+using fpr::fpr_sub;
+using fpr::kOne;
+
+namespace {
+
+constexpr unsigned kMaxLogn = 10;
+constexpr std::size_t kGmSize = std::size_t{1} << kMaxLogn;  // complex entries
+
+// Bit reversal over kMaxLogn bits.
+constexpr unsigned brev10(unsigned x) {
+  unsigned r = 0;
+  for (unsigned i = 0; i < kMaxLogn; ++i) {
+    r = (r << 1) | (x & 1);
+    x >>= 1;
+  }
+  return r;
+}
+
+struct GmTable {
+  // gm[2k], gm[2k+1]: real/imag of w^brev(k), w = exp(i*pi/1024).
+  std::array<Fpr, 2 * kGmSize> v;
+  GmTable() {
+    const long double pi = std::acos(-1.0L);
+    for (unsigned k = 0; k < kGmSize; ++k) {
+      const long double angle =
+          pi * static_cast<long double>(brev10(k)) / static_cast<long double>(kGmSize);
+      v[2 * k] = Fpr::from_double(static_cast<double>(std::cos(angle)));
+      v[2 * k + 1] = Fpr::from_double(static_cast<double>(std::sin(angle)));
+    }
+  }
+};
+
+const GmTable& gm() {
+  static const GmTable table;
+  return table;
+}
+
+// Explicitly sequenced so the leakage event order is deterministic
+// (function-argument evaluation order is unspecified in C++).
+inline void cplx_mul(Fpr& dre, Fpr& dim, Fpr are, Fpr aim, Fpr bre, Fpr bim) {
+  const Fpr t_rr = fpr_mul(are, bre);
+  const Fpr t_ii = fpr_mul(aim, bim);
+  const Fpr t_ri = fpr_mul(are, bim);
+  const Fpr t_ir = fpr_mul(aim, bre);
+  dre = fpr_sub(t_rr, t_ii);
+  dim = fpr_add(t_ri, t_ir);
+}
+
+inline void cplx_div(Fpr& dre, Fpr& dim, Fpr are, Fpr aim, Fpr bre, Fpr bim) {
+  const Fpr norm = fpr_add(fpr_mul(bre, bre), fpr_mul(bim, bim));
+  const Fpr inv = fpr_inv(norm);
+  const Fpr re = fpr_mul(fpr_add(fpr_mul(are, bre), fpr_mul(aim, bim)), inv);
+  const Fpr im = fpr_mul(fpr_sub(fpr_mul(aim, bre), fpr_mul(are, bim)), inv);
+  dre = re;
+  dim = im;
+}
+
+}  // namespace
+
+void fft(std::span<Fpr> f, unsigned logn) {
+  assert(logn >= 1 && logn <= kMaxLogn);
+  const std::size_t n = std::size_t{1} << logn;
+  const std::size_t hn = n >> 1;
+  assert(f.size() == n);
+  const auto& g = gm().v;
+
+  std::size_t t = hn;
+  for (unsigned u = 1, m = 2; u < logn; ++u, m <<= 1) {
+    const std::size_t ht = t >> 1;
+    const std::size_t hm = m >> 1;
+    for (std::size_t i1 = 0, j1 = 0; i1 < hm; ++i1, j1 += t) {
+      const std::size_t j2 = j1 + ht;
+      const Fpr s_re = g[((m + i1) << 1) + 0];
+      const Fpr s_im = g[((m + i1) << 1) + 1];
+      for (std::size_t j = j1; j < j2; ++j) {
+        const Fpr x_re = f[j];
+        const Fpr x_im = f[j + hn];
+        Fpr y_re = f[j + ht];
+        Fpr y_im = f[j + ht + hn];
+        cplx_mul(y_re, y_im, y_re, y_im, s_re, s_im);
+        f[j] = fpr_add(x_re, y_re);
+        f[j + hn] = fpr_add(x_im, y_im);
+        f[j + ht] = fpr_sub(x_re, y_re);
+        f[j + ht + hn] = fpr_sub(x_im, y_im);
+      }
+    }
+    t = ht;
+  }
+}
+
+void ifft(std::span<Fpr> f, unsigned logn) {
+  assert(logn >= 1 && logn <= kMaxLogn);
+  const std::size_t n = std::size_t{1} << logn;
+  const std::size_t hn = n >> 1;
+  assert(f.size() == n);
+  const auto& g = gm().v;
+
+  std::size_t t = 1;
+  std::size_t m = n;
+  for (unsigned u = logn; u > 1; --u) {
+    const std::size_t hm = m >> 1;
+    const std::size_t dt = t << 1;
+    for (std::size_t i1 = 0, j1 = 0; i1 < (hm >> 1); ++i1, j1 += dt) {
+      const std::size_t j2 = j1 + t;
+      const Fpr s_re = g[((hm + i1) << 1) + 0];
+      const Fpr s_im = fpr_neg(g[((hm + i1) << 1) + 1]);
+      for (std::size_t j = j1; j < j2; ++j) {
+        const Fpr x_re = f[j];
+        const Fpr x_im = f[j + hn];
+        const Fpr y_re = f[j + t];
+        const Fpr y_im = f[j + t + hn];
+        f[j] = fpr_add(x_re, y_re);
+        f[j + hn] = fpr_add(x_im, y_im);
+        Fpr d_re = fpr_sub(x_re, y_re);
+        Fpr d_im = fpr_sub(x_im, y_im);
+        cplx_mul(d_re, d_im, d_re, d_im, s_re, s_im);
+        f[j + t] = d_re;
+        f[j + t + hn] = d_im;
+      }
+    }
+    t = dt;
+    m = hm;
+  }
+  // Undo the doubling of the logn-1 merge stages.
+  const Fpr ni = Fpr::from_double(std::ldexp(1.0, -static_cast<int>(logn - 1)));
+  for (std::size_t u = 0; u < n; ++u) f[u] = fpr_mul(f[u], ni);
+}
+
+void poly_add(std::span<Fpr> a, std::span<const Fpr> b, unsigned logn) {
+  const std::size_t n = std::size_t{1} << logn;
+  for (std::size_t u = 0; u < n; ++u) a[u] = fpr_add(a[u], b[u]);
+}
+
+void poly_sub(std::span<Fpr> a, std::span<const Fpr> b, unsigned logn) {
+  const std::size_t n = std::size_t{1} << logn;
+  for (std::size_t u = 0; u < n; ++u) a[u] = fpr_sub(a[u], b[u]);
+}
+
+void poly_neg(std::span<Fpr> a, unsigned logn) {
+  const std::size_t n = std::size_t{1} << logn;
+  for (std::size_t u = 0; u < n; ++u) a[u] = fpr_neg(a[u]);
+}
+
+void poly_adj_fft(std::span<Fpr> a, unsigned logn) {
+  const std::size_t n = std::size_t{1} << logn;
+  for (std::size_t u = n >> 1; u < n; ++u) a[u] = fpr_neg(a[u]);
+}
+
+void poly_mul_fft(std::span<Fpr> a, std::span<const Fpr> b, unsigned logn) {
+  const std::size_t hn = std::size_t{1} << (logn - 1);
+  for (std::size_t u = 0; u < hn; ++u) {
+    Fpr re = a[u];
+    Fpr im = a[u + hn];
+    cplx_mul(re, im, re, im, b[u], b[u + hn]);
+    a[u] = re;
+    a[u + hn] = im;
+  }
+}
+
+void poly_muladj_fft(std::span<Fpr> a, std::span<const Fpr> b, unsigned logn) {
+  const std::size_t hn = std::size_t{1} << (logn - 1);
+  for (std::size_t u = 0; u < hn; ++u) {
+    Fpr re = a[u];
+    Fpr im = a[u + hn];
+    cplx_mul(re, im, re, im, b[u], fpr_neg(b[u + hn]));
+    a[u] = re;
+    a[u + hn] = im;
+  }
+}
+
+void poly_mulselfadj_fft(std::span<Fpr> a, unsigned logn) {
+  const std::size_t hn = std::size_t{1} << (logn - 1);
+  for (std::size_t u = 0; u < hn; ++u) {
+    const Fpr re = a[u];
+    const Fpr im = a[u + hn];
+    a[u] = fpr_add(fpr_mul(re, re), fpr_mul(im, im));
+    a[u + hn] = fpr::kZero;
+  }
+}
+
+void poly_mulconst(std::span<Fpr> a, Fpr c, unsigned logn) {
+  const std::size_t n = std::size_t{1} << logn;
+  for (std::size_t u = 0; u < n; ++u) a[u] = fpr_mul(a[u], c);
+}
+
+void poly_div_fft(std::span<Fpr> a, std::span<const Fpr> b, unsigned logn) {
+  const std::size_t hn = std::size_t{1} << (logn - 1);
+  for (std::size_t u = 0; u < hn; ++u) {
+    Fpr re = a[u];
+    Fpr im = a[u + hn];
+    cplx_div(re, im, re, im, b[u], b[u + hn]);
+    a[u] = re;
+    a[u + hn] = im;
+  }
+}
+
+void poly_invnorm2_fft(std::span<Fpr> d, std::span<const Fpr> a, std::span<const Fpr> b,
+                       unsigned logn) {
+  const std::size_t hn = std::size_t{1} << (logn - 1);
+  for (std::size_t u = 0; u < hn; ++u) {
+    const Fpr na = fpr_add(fpr_mul(a[u], a[u]), fpr_mul(a[u + hn], a[u + hn]));
+    const Fpr nb = fpr_add(fpr_mul(b[u], b[u]), fpr_mul(b[u + hn], b[u + hn]));
+    d[u] = fpr_inv(fpr_add(na, nb));
+    d[u + hn] = fpr::kZero;
+  }
+}
+
+void poly_add_muladj_fft(std::span<Fpr> d, std::span<const Fpr> a, std::span<const Fpr> b,
+                         std::span<const Fpr> c, std::span<const Fpr> e, unsigned logn) {
+  const std::size_t hn = std::size_t{1} << (logn - 1);
+  for (std::size_t u = 0; u < hn; ++u) {
+    Fpr ab_re = a[u];
+    Fpr ab_im = a[u + hn];
+    cplx_mul(ab_re, ab_im, ab_re, ab_im, b[u], fpr_neg(b[u + hn]));
+    Fpr ce_re = c[u];
+    Fpr ce_im = c[u + hn];
+    cplx_mul(ce_re, ce_im, ce_re, ce_im, e[u], fpr_neg(e[u + hn]));
+    d[u] = fpr_add(ab_re, ce_re);
+    d[u + hn] = fpr_add(ab_im, ce_im);
+  }
+}
+
+void poly_mul_autoadj_fft(std::span<Fpr> a, std::span<const Fpr> b, unsigned logn) {
+  const std::size_t hn = std::size_t{1} << (logn - 1);
+  for (std::size_t u = 0; u < hn; ++u) {
+    a[u] = fpr_mul(a[u], b[u]);
+    a[u + hn] = fpr_mul(a[u + hn], b[u]);
+  }
+}
+
+void poly_div_autoadj_fft(std::span<Fpr> a, std::span<const Fpr> b, unsigned logn) {
+  const std::size_t hn = std::size_t{1} << (logn - 1);
+  for (std::size_t u = 0; u < hn; ++u) {
+    const Fpr inv = fpr_inv(b[u]);
+    a[u] = fpr_mul(a[u], inv);
+    a[u + hn] = fpr_mul(a[u + hn], inv);
+  }
+}
+
+void poly_split_fft(std::span<Fpr> f0, std::span<Fpr> f1, std::span<const Fpr> f,
+                    unsigned logn) {
+  const std::size_t n = std::size_t{1} << logn;
+  const std::size_t hn = n >> 1;
+  const std::size_t qn = hn >> 1;
+  const auto& g = gm().v;
+
+  if (logn == 1) {
+    // n == 2: one complex slot splits into two real length-1 polys.
+    f0[0] = f[0];
+    f1[0] = f[1];
+    return;
+  }
+  for (std::size_t u = 0; u < qn; ++u) {
+    const Fpr a_re = f[(u << 1) + 0];
+    const Fpr a_im = f[(u << 1) + 0 + hn];
+    const Fpr b_re = f[(u << 1) + 1];
+    const Fpr b_im = f[(u << 1) + 1 + hn];
+
+    Fpr t_re = fpr_add(a_re, b_re);
+    Fpr t_im = fpr_add(a_im, b_im);
+    f0[u] = fpr_half(t_re);
+    f0[u + qn] = fpr_half(t_im);
+
+    t_re = fpr_sub(a_re, b_re);
+    t_im = fpr_sub(a_im, b_im);
+    Fpr u_re, u_im;
+    cplx_mul(u_re, u_im, t_re, t_im, g[((u + hn) << 1) + 0], fpr_neg(g[((u + hn) << 1) + 1]));
+    f1[u] = fpr_half(u_re);
+    f1[u + qn] = fpr_half(u_im);
+  }
+}
+
+void poly_merge_fft(std::span<Fpr> f, std::span<const Fpr> f0, std::span<const Fpr> f1,
+                    unsigned logn) {
+  const std::size_t n = std::size_t{1} << logn;
+  const std::size_t hn = n >> 1;
+  const std::size_t qn = hn >> 1;
+  const auto& g = gm().v;
+
+  if (logn == 1) {
+    f[0] = f0[0];
+    f[1] = f1[0];
+    return;
+  }
+  for (std::size_t u = 0; u < qn; ++u) {
+    const Fpr a_re = f0[u];
+    const Fpr a_im = f0[u + qn];
+    Fpr b_re, b_im;
+    cplx_mul(b_re, b_im, f1[u], f1[u + qn], g[((u + hn) << 1) + 0], g[((u + hn) << 1) + 1]);
+    f[(u << 1) + 0] = fpr_add(a_re, b_re);
+    f[(u << 1) + 0 + hn] = fpr_add(a_im, b_im);
+    f[(u << 1) + 1] = fpr_sub(a_re, b_re);
+    f[(u << 1) + 1 + hn] = fpr_sub(a_im, b_im);
+  }
+}
+
+void poly_ldl_fft(std::span<const Fpr> g00, std::span<Fpr> g01, std::span<Fpr> g11,
+                  unsigned logn) {
+  const std::size_t hn = std::size_t{1} << (logn - 1);
+  for (std::size_t u = 0; u < hn; ++u) {
+    const Fpr g00_re = g00[u];
+    const Fpr g00_im = g00[u + hn];
+    const Fpr g01_re = g01[u];
+    const Fpr g01_im = g01[u + hn];
+
+    Fpr mu_re, mu_im;
+    cplx_div(mu_re, mu_im, g01_re, g01_im, g00_re, g00_im);
+    Fpr z_re, z_im;
+    cplx_mul(z_re, z_im, mu_re, mu_im, g01_re, fpr_neg(g01_im));
+    g11[u] = fpr_sub(g11[u], z_re);
+    g11[u + hn] = fpr_sub(g11[u + hn], z_im);
+    g01[u] = mu_re;
+    g01[u + hn] = fpr_neg(mu_im);
+  }
+}
+
+Cplx fft_root(unsigned slot, unsigned logn) {
+  // Evaluate FFT(x): slot k of the FFT of the monomial x is the root
+  // zeta_k itself. Computing it this way keeps the enumeration in sync
+  // with fft() by construction.
+  const std::size_t n = std::size_t{1} << logn;
+  std::vector<Fpr> f(n, fpr::kZero);
+  f[1] = kOne;
+  fft(f, logn);
+  return {f[slot], f[slot + n / 2]};
+}
+
+}  // namespace fd::fft

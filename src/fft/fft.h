@@ -1,0 +1,75 @@
+#pragma once
+// FALCON's negacyclic FFT over Fpr.
+//
+// Polynomials live in R = Q[x]/(x^n + 1), n a power of two. The FFT
+// evaluates a real-coefficient polynomial at the n complex roots of
+// x^n + 1; by conjugate symmetry only n/2 evaluations are stored.
+// Layout matches FALCON: an n-element Fpr array where slot k holds
+// Re(f(zeta_k)) and slot k + n/2 holds Im(f(zeta_k)), for the n/2 roots
+// zeta_k in the upper half plane. All arithmetic goes through the
+// instrumented soft-float ops, so FFT activity shows up in captured
+// traces exactly as it does on the paper's target device.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "fpr/fpr.h"
+
+namespace fd::fft {
+
+using fpr::Fpr;
+
+// In-place forward FFT of an n-coefficient real polynomial (n = 2^logn,
+// logn in [1, 10]).
+void fft(std::span<Fpr> f, unsigned logn);
+// In-place inverse FFT, exact inverse of fft().
+void ifft(std::span<Fpr> f, unsigned logn);
+
+// Pointwise complex operations in FFT representation (all in place on a).
+void poly_add(std::span<Fpr> a, std::span<const Fpr> b, unsigned logn);
+void poly_sub(std::span<Fpr> a, std::span<const Fpr> b, unsigned logn);
+void poly_neg(std::span<Fpr> a, unsigned logn);
+// Hermitian adjoint: a(x) -> a(1/x), i.e. complex conjugation per slot.
+void poly_adj_fft(std::span<Fpr> a, unsigned logn);
+void poly_mul_fft(std::span<Fpr> a, std::span<const Fpr> b, unsigned logn);
+// a *= adj(b)
+void poly_muladj_fft(std::span<Fpr> a, std::span<const Fpr> b, unsigned logn);
+// a *= adj(a) (result is real in each slot; imaginary parts set to 0).
+void poly_mulselfadj_fft(std::span<Fpr> a, unsigned logn);
+void poly_mulconst(std::span<Fpr> a, Fpr c, unsigned logn);
+void poly_div_fft(std::span<Fpr> a, std::span<const Fpr> b, unsigned logn);
+// a = 1 / (a*adj(a) + b*adj(b)), computed slot-wise (real-valued).
+void poly_invnorm2_fft(std::span<Fpr> d, std::span<const Fpr> a, std::span<const Fpr> b,
+                       unsigned logn);
+// d = a*adj(b) + c*adj(e) -- the "F*adj(f) + G*adj(g)" shape of Babai.
+void poly_add_muladj_fft(std::span<Fpr> d, std::span<const Fpr> a, std::span<const Fpr> b,
+                         std::span<const Fpr> c, std::span<const Fpr> e, unsigned logn);
+// a *= b where b is real-valued per slot (imaginary halves of b ignored).
+void poly_mul_autoadj_fft(std::span<Fpr> a, std::span<const Fpr> b, unsigned logn);
+void poly_div_autoadj_fft(std::span<Fpr> a, std::span<const Fpr> b, unsigned logn);
+
+// Split/merge: the change of basis between f(x) mod x^n+1 and the pair
+// (f0, f1) with f(x) = f0(x^2) + x*f1(x^2), both in FFT representation.
+void poly_split_fft(std::span<Fpr> f0, std::span<Fpr> f1, std::span<const Fpr> f, unsigned logn);
+void poly_merge_fft(std::span<Fpr> f, std::span<const Fpr> f0, std::span<const Fpr> f1,
+                    unsigned logn);
+
+// LDL decomposition of the self-adjoint 2x2 Gram matrix [[g00, g01],
+// [adj(g01), g11]]: computes l10 and d11 (d00 == g00 is implicit).
+void poly_ldl_fft(std::span<const Fpr> g00, std::span<Fpr> g01, std::span<Fpr> g11,
+                  unsigned logn);
+
+// Convenience owning buffer for FFT-domain polynomials.
+using PolyFft = std::vector<Fpr>;
+
+// The k-th FFT root (bit-reversed enumeration as used by fft()): returns
+// the complex root e^(i*pi*(2*br(k)+1)/n) used in slot k. Exposed for the
+// attack's known-input computation and for tests.
+struct Cplx {
+  Fpr re;
+  Fpr im;
+};
+[[nodiscard]] Cplx fft_root(unsigned slot, unsigned logn);
+
+}  // namespace fd::fft

@@ -1,0 +1,150 @@
+#pragma once
+// Soft-float emulation of IEEE-754 binary64, mirroring FALCON's FPEMU.
+//
+// FALCON mandates a specific floating-point behaviour (round-to-nearest-
+// even binary64 with subnormals flushed to zero) and ships an integer-only
+// emulation for targets without an FPU — the ARM Cortex-M4 of the paper's
+// experiment runs exactly that code. The multiplication splits each 53-bit
+// mantissa into a low 25-bit and a high 28-bit half and performs schoolbook
+// multiplication with intermediate additions; those intermediates are the
+// paper's attack targets, so this module both computes them and (optionally)
+// leaks them through fd::fpr::leak().
+//
+// The bit layout is standard binary64, so conversions to/from native
+// double are bit casts, and every arithmetic op here is testable against
+// the host FPU.
+
+#include <bit>
+#include <cstdint>
+
+#include "fpr/leakage.h"
+
+namespace fd::fpr {
+
+class Fpr {
+ public:
+  constexpr Fpr() = default;
+
+  [[nodiscard]] static constexpr Fpr from_bits(std::uint64_t bits) { return Fpr(bits); }
+  [[nodiscard]] static constexpr Fpr from_double(double d) {
+    return Fpr(std::bit_cast<std::uint64_t>(d));
+  }
+
+  [[nodiscard]] constexpr std::uint64_t bits() const { return v_; }
+  [[nodiscard]] constexpr double to_double() const { return std::bit_cast<double>(v_); }
+
+  [[nodiscard]] constexpr bool sign() const { return (v_ >> 63) != 0; }
+  [[nodiscard]] constexpr unsigned biased_exponent() const {
+    return static_cast<unsigned>((v_ >> 52) & 0x7FF);
+  }
+  [[nodiscard]] constexpr std::uint64_t mantissa_field() const {
+    return v_ & 0x000FFFFFFFFFFFFFULL;
+  }
+  // Full 53-bit significand with the hidden bit set (normal values only).
+  [[nodiscard]] constexpr std::uint64_t significand() const {
+    return mantissa_field() | 0x0010000000000000ULL;
+  }
+  [[nodiscard]] constexpr bool is_zero() const { return (v_ << 1) == 0; }
+
+  friend constexpr bool operator==(Fpr a, Fpr b) { return a.v_ == b.v_; }
+
+ private:
+  explicit constexpr Fpr(std::uint64_t bits) : v_(bits) {}
+  std::uint64_t v_ = 0;
+};
+
+// Every intermediate of the reference fpr_mul mantissa pipeline, in
+// execution order. This is the single source of truth shared by the
+// arithmetic (below) and by the attack's hypothesis models: both sides
+// compute byte-identical values, just like device and attacker share the
+// instruction stream on real hardware.
+struct MulMantissaSteps {
+  std::uint32_t x0, x1;  // secret operand: low 25 / high 28 bits
+  std::uint32_t y0, y1;  // known operand:  low 25 / high 28 bits
+  std::uint64_t prod_ll;  // x0*y0
+  std::uint64_t prod_lh;  // x0*y1
+  std::uint64_t prod_hl;  // x1*y0
+  std::uint64_t prod_hh;  // x1*y1
+  std::uint32_t z1a;      // (prod_ll>>25) + (prod_lh & mask25): prune target (low)
+  std::uint32_t z1b;      // z1a + (prod_hl & mask25)
+  std::uint32_t z2;       // (prod_lh>>25) + (prod_hl>>25)
+  std::uint64_t zu;       // prod_hh + z2 + (z1b>>25): prune target (high)
+  std::uint32_t z1;       // z1b & mask25
+  std::uint32_t z0;       // prod_ll & mask25
+};
+
+inline constexpr std::uint32_t kMantLowMask = 0x01FFFFFF;  // 25 bits
+inline constexpr unsigned kMantLowBits = 25;
+inline constexpr unsigned kMantHighBits = 28;
+
+// Pure function: runs the split/schoolbook pipeline on two 53-bit
+// significands (hidden bit included).
+[[nodiscard]] constexpr MulMantissaSteps mul_mantissa_steps(std::uint64_t xm, std::uint64_t ym) {
+  MulMantissaSteps s{};
+  s.x0 = static_cast<std::uint32_t>(xm) & kMantLowMask;
+  s.x1 = static_cast<std::uint32_t>(xm >> kMantLowBits);
+  s.y0 = static_cast<std::uint32_t>(ym) & kMantLowMask;
+  s.y1 = static_cast<std::uint32_t>(ym >> kMantLowBits);
+  s.prod_ll = static_cast<std::uint64_t>(s.x0) * s.y0;
+  s.prod_lh = static_cast<std::uint64_t>(s.x0) * s.y1;
+  s.prod_hl = static_cast<std::uint64_t>(s.x1) * s.y0;
+  s.prod_hh = static_cast<std::uint64_t>(s.x1) * s.y1;
+  s.z0 = static_cast<std::uint32_t>(s.prod_ll) & kMantLowMask;
+  s.z1a = static_cast<std::uint32_t>(s.prod_ll >> kMantLowBits) +
+          (static_cast<std::uint32_t>(s.prod_lh) & kMantLowMask);
+  s.z1b = s.z1a + (static_cast<std::uint32_t>(s.prod_hl) & kMantLowMask);
+  s.z2 = static_cast<std::uint32_t>(s.prod_lh >> kMantLowBits) +
+         static_cast<std::uint32_t>(s.prod_hl >> kMantLowBits);
+  s.zu = s.prod_hh + s.z2 + (s.z1b >> kMantLowBits);
+  s.z1 = s.z1b & kMantLowMask;
+  return s;
+}
+
+// Arithmetic (round-to-nearest-even; subnormal inputs/outputs flushed to
+// zero; NaN/Inf behaviour unspecified, as in FALCON's FPEMU).
+[[nodiscard]] Fpr fpr_add(Fpr x, Fpr y);
+[[nodiscard]] Fpr fpr_sub(Fpr x, Fpr y);
+[[nodiscard]] Fpr fpr_mul(Fpr x, Fpr y);
+[[nodiscard]] Fpr fpr_div(Fpr x, Fpr y);
+[[nodiscard]] Fpr fpr_sqrt(Fpr x);
+[[nodiscard]] Fpr fpr_neg(Fpr x);
+[[nodiscard]] Fpr fpr_half(Fpr x);    // x * 0.5 (exponent decrement)
+[[nodiscard]] Fpr fpr_double(Fpr x);  // x * 2   (exponent increment)
+[[nodiscard]] inline Fpr fpr_sqr(Fpr x) { return fpr_mul(x, x); }
+[[nodiscard]] Fpr fpr_inv(Fpr x);
+
+// Conversions.
+[[nodiscard]] Fpr fpr_of(std::int64_t i);
+// i * 2^sc, as FALCON's fpr_scaled.
+[[nodiscard]] Fpr fpr_scaled(std::int64_t i, int sc);
+[[nodiscard]] std::int64_t fpr_rint(Fpr x);   // round to nearest even
+[[nodiscard]] std::int64_t fpr_trunc(Fpr x);  // round toward zero
+[[nodiscard]] std::int64_t fpr_floor(Fpr x);  // round toward -inf
+
+// Comparison: x < y (total order on the values; -0 < +0).
+[[nodiscard]] bool fpr_lt(Fpr x, Fpr y);
+
+// round(2^63 * ccs * exp(-x)) for x in [0, ln 2], ccs in [0, 1).
+// Used by the BerExp rejection step of SamplerZ. Taylor-16 fixed-point
+// Horner evaluation (FALCON uses a degree-12 minimax variant of the same
+// scheme; both are far below the sampler's statistical noise floor).
+[[nodiscard]] std::uint64_t fpr_expm_p63(Fpr x, Fpr ccs);
+
+// Operator sugar.
+inline Fpr operator+(Fpr a, Fpr b) { return fpr_add(a, b); }
+inline Fpr operator-(Fpr a, Fpr b) { return fpr_sub(a, b); }
+inline Fpr operator*(Fpr a, Fpr b) { return fpr_mul(a, b); }
+inline Fpr operator/(Fpr a, Fpr b) { return fpr_div(a, b); }
+inline Fpr operator-(Fpr a) { return fpr_neg(a); }
+
+// Common constants.
+inline constexpr Fpr kZero = Fpr::from_double(0.0);
+inline constexpr Fpr kOne = Fpr::from_double(1.0);
+inline constexpr Fpr kTwo = Fpr::from_double(2.0);
+inline constexpr Fpr kOneHalf = Fpr::from_double(0.5);
+inline constexpr Fpr kLn2 = Fpr::from_double(0.69314718055994531);
+inline constexpr Fpr kInvLn2 = Fpr::from_double(1.4426950408889634);
+inline constexpr Fpr kInvSqrt2 = Fpr::from_double(0.70710678118654752);
+inline constexpr Fpr kPtwo63 = Fpr::from_double(9223372036854775808.0);
+
+}  // namespace fd::fpr

@@ -1,0 +1,139 @@
+#include "sca/campaign.h"
+
+#include <string>
+
+#include "common/rng.h"
+#include "falcon/sign.h"
+#include "fft/fft.h"
+#include "sca/capture.h"
+
+namespace fd::sca {
+
+namespace {
+
+using fpr::Fpr;
+
+// Keeps the most recent f-row (even-occurrence) window per slot. A
+// signing run triggers each slot once per basis row and per internal
+// salt retry; the final even occurrence is the one matching the emitted
+// signature's salt.
+class LastWindowRecorder final : public fpr::LeakageSink {
+ public:
+  explicit LastWindowRecorder(std::size_t num_slots, unsigned row = 0)
+      : row_(row), windows_(num_slots), occurrence_(num_slots, 0) {}
+
+  void on_event(const fpr::LeakageEvent& ev) override {
+    if (ev.tag == fpr::LeakageTag::kTriggerBegin) {
+      const std::size_t slot = static_cast<std::size_t>(ev.value);
+      if (slot < windows_.size()) {
+        recording_ = (occurrence_[slot]++ % 2) == row_;
+        if (recording_) {
+          current_ = slot;
+          windows_[slot].clear();
+        }
+      }
+      return;
+    }
+    if (ev.tag == fpr::LeakageTag::kTriggerEnd) {
+      recording_ = false;
+      return;
+    }
+    if (recording_) windows_[current_].push_back(ev);
+  }
+
+  [[nodiscard]] const std::vector<fpr::LeakageEvent>& window(std::size_t slot) const {
+    return windows_[slot];
+  }
+
+  void start_run() {
+    std::fill(occurrence_.begin(), occurrence_.end(), 0U);
+    recording_ = false;
+  }
+
+ private:
+  unsigned row_;
+  std::vector<std::vector<fpr::LeakageEvent>> windows_;
+  std::vector<unsigned> occurrence_;
+  std::size_t current_ = 0;
+  bool recording_ = false;
+};
+
+// Adversary-side recomputation of FFT(c)[*] from public data.
+std::vector<Fpr> known_fft_of_hash(const falcon::Signature& sig, std::string_view message,
+                                   unsigned logn) {
+  const auto c = falcon::hash_to_point(sig.salt, message, logn);
+  std::vector<Fpr> cf(c.size());
+  for (std::size_t i = 0; i < c.size(); ++i) cf[i] = fpr::fpr_of(c[i]);
+  fft::fft(cf, logn);
+  return cf;
+}
+
+}  // namespace
+
+TraceSet run_signing_campaign(const falcon::SecretKey& sk, std::size_t slot,
+                              const CampaignConfig& config) {
+  const unsigned logn = sk.params.logn;
+  const std::size_t hn = sk.params.n >> 1;
+
+  ChaCha20Prng victim_rng(config.seed ^ 0x5167);
+  EmDeviceModel device(config.device, config.seed ^ 0xD01CE);
+  LastWindowRecorder recorder(hn, config.row);
+  const SignerFn signer = config.signer ? config.signer : SignerFn(&falcon::sign);
+
+  TraceSet set;
+  set.slot = slot;
+  set.traces.reserve(config.num_traces);
+  for (std::size_t d = 0; d < config.num_traces; ++d) {
+    const std::string message = "trace-" + std::to_string(d);
+    recorder.start_run();
+    falcon::Signature sig;
+    {
+      fpr::ScopedLeakageSink scope(&recorder);
+      sig = signer(sk, message, victim_rng);
+    }
+    const auto cf = known_fft_of_hash(sig, message, logn);
+    CapturedTrace ct;
+    ct.trace = device.synthesize(recorder.window(slot));
+    ct.known_re = cf[slot];
+    ct.known_im = cf[slot + hn];
+    set.traces.push_back(std::move(ct));
+  }
+  return set;
+}
+
+std::vector<TraceSet> run_full_campaign(const falcon::SecretKey& sk,
+                                        const CampaignConfig& config) {
+  const unsigned logn = sk.params.logn;
+  const std::size_t hn = sk.params.n >> 1;
+
+  ChaCha20Prng victim_rng(config.seed ^ 0x5167);
+  EmDeviceModel device(config.device, config.seed ^ 0xD01CE);
+  LastWindowRecorder recorder(hn, config.row);
+  const SignerFn signer = config.signer ? config.signer : SignerFn(&falcon::sign);
+
+  std::vector<TraceSet> sets(hn);
+  for (std::size_t s = 0; s < hn; ++s) {
+    sets[s].slot = s;
+    sets[s].traces.reserve(config.num_traces);
+  }
+  for (std::size_t d = 0; d < config.num_traces; ++d) {
+    const std::string message = "trace-" + std::to_string(d);
+    recorder.start_run();
+    falcon::Signature sig;
+    {
+      fpr::ScopedLeakageSink scope(&recorder);
+      sig = signer(sk, message, victim_rng);
+    }
+    const auto cf = known_fft_of_hash(sig, message, logn);
+    for (std::size_t s = 0; s < hn; ++s) {
+      CapturedTrace ct;
+      ct.trace = device.synthesize(recorder.window(s));
+      ct.known_re = cf[s];
+      ct.known_im = cf[s + hn];
+      sets[s].traces.push_back(std::move(ct));
+    }
+  }
+  return sets;
+}
+
+}  // namespace fd::sca

@@ -1,0 +1,60 @@
+#pragma once
+// Measurement campaigns: run the victim signer under the capture rig and
+// produce aligned, per-coefficient trace sets together with the
+// adversary's known inputs.
+//
+// The known-plaintext model of the paper: the adversary sees each output
+// signature (salt r, s) and the EM emission of the signing run. From
+// (r, message) it recomputes c = HashToPoint(r||m) and FFT(c) with the
+// public code, so for every captured window it knows the exact 64-bit
+// operand that was multiplied with the secret FFT(f) coefficient.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "falcon/keys.h"
+#include "falcon/sign.h"
+#include "fpr/fpr.h"
+#include "sca/device.h"
+
+namespace fd::sca {
+
+// The victim operation driven by a campaign; defaults to falcon::sign.
+// Countermeasure studies substitute falcon::sign_masked here.
+using SignerFn = std::function<falcon::Signature(const falcon::SecretKey&, std::string_view,
+                                                 RandomSource&)>;
+
+struct CapturedTrace {
+  Trace trace;
+  fpr::Fpr known_re;  // Re FFT(c)[slot], recomputed by the adversary
+  fpr::Fpr known_im;  // Im FFT(c)[slot]
+};
+
+struct TraceSet {
+  std::size_t slot = 0;  // complex slot index in [0, n/2)
+  std::vector<CapturedTrace> traces;
+};
+
+struct CampaignConfig {
+  std::size_t num_traces = 1000;
+  DeviceConfig device;
+  std::uint64_t seed = 1;  // drives victim randomness and device noise
+  SignerFn signer;         // empty -> falcon::sign
+  // Which basis-row multiplication to capture: each signing run triggers
+  // every slot once per row, f-row (t1, FFT(-f)) first then F-row (t0,
+  // FFT(-F)). 0 captures the f-row windows, 1 the F-row windows.
+  unsigned row = 0;
+};
+
+// Captures the FFT(c) (.) FFT(-f) window of one complex slot over
+// `num_traces` signing queries on distinct messages.
+[[nodiscard]] TraceSet run_signing_campaign(const falcon::SecretKey& sk, std::size_t slot,
+                                            const CampaignConfig& config);
+
+// Captures every slot's window in each signing run (one signature feeds
+// all n/2 per-coefficient trace sets). Memory is O(num_traces * n * 40).
+[[nodiscard]] std::vector<TraceSet> run_full_campaign(const falcon::SecretKey& sk,
+                                                      const CampaignConfig& config);
+
+}  // namespace fd::sca

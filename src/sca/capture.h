@@ -1,0 +1,75 @@
+#pragma once
+// Leakage-event capture.
+//
+// EventWindowRecorder plays the role of the oscilloscope in the paper's
+// setup: it is armed on a trigger marker (emitted by the signing code
+// around each coefficient-wise multiplication), records the tagged
+// intermediate values of the window, and disarms on the trigger end.
+// The raw events are *device-internal* state; only the EmDeviceModel's
+// noisy trace synthesis (device.h) is visible to the adversary.
+
+#include <cstdint>
+#include <vector>
+
+#include "fpr/leakage.h"
+
+namespace fd::sca {
+
+class EventWindowRecorder final : public fpr::LeakageSink {
+ public:
+  // Records the window whose kTriggerBegin payload equals `slot`, on its
+  // `occurrence`-th appearance (a FALCON signing run triggers each slot
+  // twice: first for the f row, then for the F row).
+  explicit EventWindowRecorder(std::uint64_t slot, unsigned occurrence = 0)
+      : slot_(slot), want_occurrence_(occurrence) {}
+
+  void on_event(const fpr::LeakageEvent& ev) override {
+    if (ev.tag == fpr::LeakageTag::kTriggerBegin) {
+      if (ev.value == slot_ && seen_occurrences_++ == want_occurrence_) {
+        armed_ = true;
+        events_.clear();
+      }
+      return;
+    }
+    if (ev.tag == fpr::LeakageTag::kTriggerEnd) {
+      if (armed_ && ev.value == slot_) {
+        armed_ = false;
+        complete_ = true;
+      }
+      return;
+    }
+    if (armed_) events_.push_back(ev);
+  }
+
+  [[nodiscard]] bool complete() const { return complete_; }
+  [[nodiscard]] const std::vector<fpr::LeakageEvent>& events() const { return events_; }
+
+  void reset() {
+    armed_ = false;
+    complete_ = false;
+    seen_occurrences_ = 0;
+    events_.clear();
+  }
+
+ private:
+  std::uint64_t slot_;
+  unsigned want_occurrence_;
+  unsigned seen_occurrences_ = 0;
+  bool armed_ = false;
+  bool complete_ = false;
+  std::vector<fpr::LeakageEvent> events_;
+};
+
+// Records every event of a run (used by the Fig. 3 style trace dumps and
+// by whole-algorithm inspection).
+class FullRecorder final : public fpr::LeakageSink {
+ public:
+  void on_event(const fpr::LeakageEvent& ev) override { events_.push_back(ev); }
+  [[nodiscard]] const std::vector<fpr::LeakageEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+ private:
+  std::vector<fpr::LeakageEvent> events_;
+};
+
+}  // namespace fd::sca

@@ -1,0 +1,64 @@
+#pragma once
+// Event-stream parser: segments a raw leakage capture into operation
+// records (one per soft-float multiply/add), the attacker-side
+// "disassembly" of a trace.
+//
+// The instrumented pipeline has data-dependent event counts in exactly
+// one place: an fpr_mul with a zero operand emits only its sign event.
+// The tag sequence disambiguates every case, so a captured stream can be
+// segmented without knowing any operand -- which is what lets an
+// adversary align a single long trace (e.g. of key expansion at boot)
+// against the known control flow.
+
+#include <cstddef>
+#include <vector>
+
+#include "fpr/leakage.h"
+
+namespace fd::sca {
+
+struct OpRecord {
+  enum class Kind { kMul, kMulZero, kAdd, kTrigger, kNtt } kind;
+  std::size_t first_event = 0;  // index into the source stream
+  std::size_t num_events = 0;
+};
+
+// Segments a stream of leakage events into op records. Unrecognized
+// prefixes are skipped one event at a time (robustness against partial
+// captures).
+[[nodiscard]] inline std::vector<OpRecord> parse_op_records(
+    const std::vector<fpr::LeakageEvent>& events) {
+  using T = fpr::LeakageTag;
+  std::vector<OpRecord> ops;
+  std::size_t i = 0;
+  while (i < events.size()) {
+    const T tag = events[i].tag;
+    if (tag == T::kTriggerBegin || tag == T::kTriggerEnd) {
+      ops.push_back({OpRecord::Kind::kTrigger, i, 1});
+      ++i;
+    } else if (tag == T::kMulSign) {
+      // Full multiply: 17 events starting with sign then exponents;
+      // zero-operand multiply: the sign event stands alone.
+      if (i + 1 < events.size() && events[i + 1].tag == T::kMulExpX) {
+        ops.push_back({OpRecord::Kind::kMul, i, 17});
+        i += 17;
+      } else {
+        ops.push_back({OpRecord::Kind::kMulZero, i, 1});
+        ++i;
+      }
+    } else if (tag == T::kAddAlignShift) {
+      // An add that cancels to zero returns before its result event.
+      const bool has_result = i + 2 < events.size() && events[i + 2].tag == T::kAddResult;
+      ops.push_back({OpRecord::Kind::kAdd, i, has_result ? 3U : 2U});
+      i += has_result ? 3 : 2;
+    } else if (tag == T::kNttProd) {
+      ops.push_back({OpRecord::Kind::kNtt, i, 2});
+      i += 2;
+    } else {
+      ++i;  // stray event (e.g. NTT butterfly outputs)
+    }
+  }
+  return ops;
+}
+
+}  // namespace fd::sca

@@ -1,0 +1,172 @@
+#include "zq/zq.h"
+
+#include <array>
+#include <cassert>
+
+#include "fpr/leakage.h"
+
+namespace fd::zq {
+
+using fpr::leak;
+using fpr::LeakageTag;
+
+std::uint32_t mul(std::uint32_t a, std::uint32_t b) {
+  const std::uint32_t p = a * b;  // < 12289^2 < 2^28
+  leak(LeakageTag::kNttProd, p);
+  const std::uint32_t r = p % kQ;
+  leak(LeakageTag::kNttReduced, r);
+  return r;
+}
+
+std::uint32_t pow(std::uint32_t base, std::uint32_t exp) {
+  std::uint64_t r = 1;
+  std::uint64_t b = base % kQ;
+  while (exp != 0) {
+    if (exp & 1) r = (r * b) % kQ;
+    b = (b * b) % kQ;
+    exp >>= 1;
+  }
+  return static_cast<std::uint32_t>(r);
+}
+
+std::uint32_t inverse(std::uint32_t a) {
+  assert(a % kQ != 0);
+  return pow(a, kQ - 2);
+}
+
+namespace {
+
+constexpr unsigned kMaxLogn = 11;
+
+// psi tables: powers of a primitive 2n-th root of unity in bit-reversed
+// order, one table per level, derived from a generator found at startup.
+struct NttTables {
+  // psi_brev[logn][k] = psi^brev(k) for the 2^(logn+1)-th root psi.
+  std::array<std::vector<std::uint32_t>, kMaxLogn + 1> psi_brev;
+  std::array<std::vector<std::uint32_t>, kMaxLogn + 1> ipsi_brev;
+  std::array<std::uint32_t, kMaxLogn + 1> n_inv;
+
+  NttTables() {
+    // Find a generator of Z_q^* (order q-1 = 2^12 * 3).
+    std::uint32_t g = 0;
+    for (std::uint32_t cand = 2; cand < kQ; ++cand) {
+      if (pow(cand, (kQ - 1) / 2) != 1 && pow(cand, (kQ - 1) / 3) != 1) {
+        g = cand;
+        break;
+      }
+    }
+    for (unsigned logn = 1; logn <= kMaxLogn; ++logn) {
+      const std::uint32_t n = std::uint32_t{1} << logn;
+      const std::uint32_t psi = pow(g, (kQ - 1) / (2 * n));  // primitive 2n-th root
+      const std::uint32_t ipsi = inverse(psi);
+      auto& tab = psi_brev[logn];
+      auto& itab = ipsi_brev[logn];
+      tab.resize(n);
+      itab.resize(n);
+      for (std::uint32_t k = 0; k < n; ++k) {
+        std::uint32_t br = 0;
+        for (unsigned b = 0; b < logn; ++b) br |= ((k >> b) & 1U) << (logn - 1 - b);
+        tab[k] = pow(psi, br);
+        itab[k] = pow(ipsi, br);
+      }
+      n_inv[logn] = inverse(n);
+    }
+  }
+};
+
+const NttTables& tables() {
+  static const NttTables t;
+  return t;
+}
+
+}  // namespace
+
+void ntt(std::span<std::uint32_t> a, unsigned logn) {
+  assert(logn >= 1 && logn <= kMaxLogn);
+  const std::size_t n = std::size_t{1} << logn;
+  assert(a.size() == n);
+  const auto& psi = tables().psi_brev[logn];
+
+  // Cooley-Tukey, decimation in time over the negacyclic tree.
+  std::size_t t = n;
+  for (std::size_t m = 1; m < n; m <<= 1) {
+    t >>= 1;
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::uint32_t s = psi[m + i];
+      const std::size_t j1 = 2 * i * t;
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        const std::uint32_t u = a[j];
+        const std::uint32_t v = mul(a[j + t], s);
+        a[j] = add(u, v);
+        leak(LeakageTag::kNttButterflyAdd, a[j]);
+        a[j + t] = sub(u, v);
+        leak(LeakageTag::kNttButterflySub, a[j + t]);
+      }
+    }
+  }
+}
+
+void intt(std::span<std::uint32_t> a, unsigned logn) {
+  assert(logn >= 1 && logn <= kMaxLogn);
+  const std::size_t n = std::size_t{1} << logn;
+  assert(a.size() == n);
+  const auto& ipsi = tables().ipsi_brev[logn];
+
+  // Gentleman-Sande, inverse of the CT pass above.
+  std::size_t t = 1;
+  for (std::size_t m = n; m > 1; m >>= 1) {
+    const std::size_t h = m >> 1;
+    std::size_t j1 = 0;
+    for (std::size_t i = 0; i < h; ++i) {
+      const std::uint32_t s = ipsi[h + i];
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        const std::uint32_t u = a[j];
+        const std::uint32_t v = a[j + t];
+        a[j] = add(u, v);
+        a[j + t] = mul(sub(u, v), s);
+      }
+      j1 += 2 * t;
+    }
+    t <<= 1;
+  }
+  const std::uint32_t ni = tables().n_inv[logn];
+  for (auto& x : a) x = mul(x, ni);
+}
+
+void pointwise_mul(std::span<std::uint32_t> a, std::span<const std::uint32_t> b) {
+  assert(a.size() == b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) a[i] = mul(a[i], b[i]);
+}
+
+std::vector<std::uint32_t> poly_mul(std::span<const std::uint32_t> a,
+                                    std::span<const std::uint32_t> b, unsigned logn) {
+  std::vector<std::uint32_t> ta(a.begin(), a.end());
+  std::vector<std::uint32_t> tb(b.begin(), b.end());
+  ntt(ta, logn);
+  ntt(tb, logn);
+  pointwise_mul(ta, tb);
+  intt(ta, logn);
+  return ta;
+}
+
+std::vector<std::uint32_t> poly_inverse(std::span<const std::uint32_t> a, unsigned logn) {
+  std::vector<std::uint32_t> t(a.begin(), a.end());
+  ntt(t, logn);
+  for (auto& x : t) {
+    if (x == 0) return {};
+    x = inverse(x);
+  }
+  intt(t, logn);
+  return t;
+}
+
+bool poly_invertible(std::span<const std::uint32_t> a, unsigned logn) {
+  std::vector<std::uint32_t> t(a.begin(), a.end());
+  ntt(t, logn);
+  for (const auto x : t) {
+    if (x == 0) return false;
+  }
+  return true;
+}
+
+}  // namespace fd::zq

@@ -1,0 +1,65 @@
+#pragma once
+// Arithmetic modulo q = 12289 and the negacyclic NTT.
+//
+// FALCON's verification (and the h = g/f public-key computation) work in
+// Z_q[x]/(x^n+1) with q = 12289 = 12*1024 + 1, which supports negacyclic
+// NTTs for every n = 2^logn up to 2048. Roots of unity are derived at
+// startup by searching for a generator of Z_q^* (q is small), so no
+// hardcoded tables are needed.
+//
+// The modmul/butterfly routines optionally emit leakage events; this
+// powers the paper's §V.C discussion (NTT leaks harder than FFT) with an
+// apples-to-apples experiment on the same device model.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace fd::zq {
+
+inline constexpr std::uint32_t kQ = 12289;
+
+[[nodiscard]] constexpr std::uint32_t add(std::uint32_t a, std::uint32_t b) {
+  const std::uint32_t s = a + b;
+  return s >= kQ ? s - kQ : s;
+}
+[[nodiscard]] constexpr std::uint32_t sub(std::uint32_t a, std::uint32_t b) {
+  return a >= b ? a - b : a + kQ - b;
+}
+// Plain 32-bit product followed by reduction, as a Cortex-M-class core
+// would execute it; emits kNttProd/kNttReduced leakage when a sink is set.
+[[nodiscard]] std::uint32_t mul(std::uint32_t a, std::uint32_t b);
+[[nodiscard]] std::uint32_t pow(std::uint32_t base, std::uint32_t exp);
+[[nodiscard]] std::uint32_t inverse(std::uint32_t a);  // a != 0
+
+// Centered representative in [-(q-1)/2, (q-1)/2].
+[[nodiscard]] constexpr std::int32_t center(std::uint32_t a) {
+  return static_cast<std::int32_t>(a) - static_cast<std::int32_t>((a > kQ / 2) ? kQ : 0);
+}
+// Reduce any signed value into [0, q).
+[[nodiscard]] constexpr std::uint32_t from_signed(std::int64_t v) {
+  std::int64_t r = v % static_cast<std::int64_t>(kQ);
+  if (r < 0) r += kQ;
+  return static_cast<std::uint32_t>(r);
+}
+
+// In-place forward negacyclic NTT: standard coefficient order in, bit-
+// reversed evaluation order out. n = 2^logn, logn in [1, 11].
+void ntt(std::span<std::uint32_t> a, unsigned logn);
+// Exact inverse of ntt() (includes the 1/n and psi^-1 twists).
+void intt(std::span<std::uint32_t> a, unsigned logn);
+
+// Coefficient-wise product in NTT domain.
+void pointwise_mul(std::span<std::uint32_t> a, std::span<const std::uint32_t> b);
+
+// Convolution helpers in Z_q[x]/(x^n+1), plain coefficient order.
+[[nodiscard]] std::vector<std::uint32_t> poly_mul(std::span<const std::uint32_t> a,
+                                                  std::span<const std::uint32_t> b,
+                                                  unsigned logn);
+// Inverse of a; returns empty vector when a is not invertible (some NTT
+// coefficient is 0).
+[[nodiscard]] std::vector<std::uint32_t> poly_inverse(std::span<const std::uint32_t> a,
+                                                      unsigned logn);
+[[nodiscard]] bool poly_invertible(std::span<const std::uint32_t> a, unsigned logn);
+
+}  // namespace fd::zq

@@ -1,0 +1,164 @@
+// Attack-layer internals: device self-calibration, streaming-scan
+// properties, candidate generation edge cases, dataset truncation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "attack/extend_prune.h"
+#include "attack/template_attack.h"
+#include "common/rng.h"
+#include "falcon/falcon.h"
+#include "sca/campaign.h"
+
+namespace fd::attack {
+namespace {
+
+sca::TraceSet small_campaign(double noise, std::uint64_t seed, std::size_t traces = 400) {
+  ChaCha20Prng rng(seed);
+  const auto kp = falcon::keygen(4, rng);
+  sca::CampaignConfig cfg;
+  cfg.num_traces = traces;
+  cfg.device.noise_sigma = noise;
+  cfg.seed = seed;
+  return sca::run_signing_campaign(kp.sk, 0, cfg);
+}
+
+TEST(Calibration, RecoversUnitGainZeroOffset) {
+  const auto set = small_campaign(2.0, 0xAA01);
+  const auto ds = build_component_dataset(set, false);
+  const LinearCalibration cal = calibrate_device(ds);
+  EXPECT_NEAR(cal.alpha, 1.0, 0.05);
+  EXPECT_NEAR(cal.beta, 0.0, 1.0);
+}
+
+TEST(Calibration, DetectsScaledDevice) {
+  ChaCha20Prng rng(0xAA02);
+  const auto kp = falcon::keygen(4, rng);
+  sca::CampaignConfig cfg;
+  cfg.num_traces = 400;
+  cfg.device.alpha = 2.5;
+  cfg.device.noise_sigma = 1.0;
+  cfg.seed = 0xAA02;
+  const auto set = sca::run_signing_campaign(kp.sk, 0, cfg);
+  const auto ds = build_component_dataset(set, false);
+  const LinearCalibration cal = calibrate_device(ds);
+  EXPECT_NEAR(cal.alpha, 2.5, 0.1);
+}
+
+TEST(Calibration, ConstantWeightGivesZeroGain) {
+  ChaCha20Prng rng(0xAA03);
+  const auto kp = falcon::keygen(4, rng);
+  sca::CampaignConfig cfg;
+  cfg.num_traces = 300;
+  cfg.device.constant_weight = true;
+  cfg.device.noise_sigma = 1.0;
+  cfg.seed = 0xAA03;
+  const auto set = sca::run_signing_campaign(kp.sk, 0, cfg);
+  const auto ds = build_component_dataset(set, false);
+  const LinearCalibration cal = calibrate_device(ds);
+  EXPECT_NEAR(cal.alpha, 0.0, 0.05);
+}
+
+TEST(StreamingScan, TopKOrderingAndSize) {
+  ChaCha20Prng rng(0xAA04);
+  std::vector<float> col(500);
+  std::vector<std::uint32_t> known(500);
+  for (std::size_t i = 0; i < col.size(); ++i) {
+    known[i] = static_cast<std::uint32_t>(rng.next_u64());
+    col[i] = static_cast<float>(std::popcount(known[i] * 777U)) +
+             0.5F * static_cast<float>(rng.gaussian());
+  }
+  StreamingScan scan({col});
+  const auto model = [&](std::uint32_t g, std::size_t t, std::size_t) {
+    return static_cast<double>(std::popcount(known[t] * g));
+  };
+  const auto top = scan.top_k(700, 800, model, 10);
+  ASSERT_EQ(top.size(), 10U);
+  EXPECT_EQ(top[0].guess, 777U);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_LE(top[i].score, top[i - 1].score);  // descending
+  }
+  // keep > space size clamps.
+  const auto all = scan.top_k(700, 705, model, 10);
+  EXPECT_EQ(all.size(), 5U);
+}
+
+TEST(StreamingScan, ScoreOneMatchesTopK) {
+  ChaCha20Prng rng(0xAA05);
+  std::vector<float> col(200);
+  std::vector<std::uint32_t> known(200);
+  for (std::size_t i = 0; i < col.size(); ++i) {
+    known[i] = static_cast<std::uint32_t>(rng.next_u64());
+    col[i] = static_cast<float>(std::popcount(known[i]));
+  }
+  StreamingScan scan({col});
+  const auto model = [&](std::uint32_t g, std::size_t t, std::size_t) {
+    return static_cast<double>(std::popcount(known[t] ^ g));
+  };
+  const std::uint32_t guesses[3] = {0, 0xFFFFFFFF, 0x12345678};
+  const auto top = scan.top_k_list(guesses, model, 3);
+  for (const auto& s : top) {
+    EXPECT_DOUBLE_EQ(scan.score_one(s.guess, model), s.score);
+  }
+  // XOR with all-ones flips every bit: perfect anti-correlation.
+  EXPECT_NEAR(scan.score_one(0xFFFFFFFFU, model), -1.0, 1e-9);
+  EXPECT_NEAR(scan.score_one(0U, model), 1.0, 1e-9);
+}
+
+TEST(Candidates, TruthWithNoShiftsStillPresent) {
+  // An odd value with the top bit set has no exact shifts in range.
+  const std::uint32_t truth = (1U << 24) | 1U;
+  const auto cands = MantissaCandidates::adversarial(truth, false, 20, 9);
+  EXPECT_NE(std::find(cands.begin(), cands.end(), truth), cands.end());
+}
+
+TEST(Candidates, Deterministic) {
+  const auto a = MantissaCandidates::adversarial(0x123456, false, 50, 42);
+  const auto b = MantissaCandidates::adversarial(0x123456, false, 50, 42);
+  EXPECT_EQ(a, b);
+  const auto c = MantissaCandidates::adversarial(0x123456, false, 50, 43);
+  EXPECT_NE(a, c);
+}
+
+TEST(Dataset, TruncationLimitsTraces) {
+  const auto set = small_campaign(1.0, 0xAA06, 50);
+  const auto full = build_component_dataset(set, false);
+  const auto part = build_component_dataset(set, false, 20);
+  EXPECT_EQ(full.num_traces, 50U);
+  EXPECT_EQ(part.num_traces, 20U);
+  for (unsigned v = 0; v < 2; ++v) {
+    ASSERT_EQ(part.views[v].known.size(), 20U);
+    for (std::size_t t = 0; t < 20; ++t) {
+      EXPECT_EQ(part.views[v].samples[0][t], full.views[v].samples[0][t]);
+    }
+  }
+}
+
+TEST(Confidence, IntervalShrinksWithTraces) {
+  EXPECT_GT(confidence_interval(0.9999, 100), confidence_interval(0.9999, 10000));
+  EXPECT_NEAR(confidence_interval(0.9999, 10000), 3.8906 / 100.0, 1e-4);
+  EXPECT_GT(confidence_z(0.9999), confidence_z(0.99));
+}
+
+TEST(Assemble, FieldPacking) {
+  EXPECT_EQ(assemble_bits(false, 1023, 1U << 27, 0), 0x3FF0000000000000ULL);
+  EXPECT_EQ(assemble_bits(true, 0, 1U << 27, 0), 0x8000000000000000ULL);
+  EXPECT_EQ(assemble_bits(false, 1023, (1U << 27) | 1U, 1),
+            0x3FF0000002000001ULL);
+}
+
+TEST(TemplateLikelihood, TruncationConsistent) {
+  const auto set = small_campaign(2.0, 0xAA07, 100);
+  const auto ds = build_component_dataset(set, false);
+  ChaCha20Prng rng(0xAA07);
+  const auto kp = falcon::keygen(4, rng);  // same seed -> same key as rig
+  const auto prof = profile_device(ds, kp.sk.b01[0]);
+  const double full = template_log_likelihood(ds, prof, kp.sk.b01[0].bits());
+  const double half = template_log_likelihood(ds, prof, kp.sk.b01[0].bits(), 50);
+  EXPECT_LT(full, 0.0);
+  EXPECT_GT(half, full);  // fewer traces, fewer (negative) terms
+}
+
+}  // namespace
+}  // namespace fd::attack

@@ -1,0 +1,202 @@
+// Codec round trips and strict-rejection behaviour.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.h"
+#include "falcon/falcon.h"
+
+namespace fd::falcon {
+namespace {
+
+TEST(Codec, CompressRoundTripRandom) {
+  ChaCha20Prng rng(0x9001);
+  for (int trial = 0; trial < 200; ++trial) {
+    const std::size_t n = 64;
+    std::vector<std::int16_t> s2(n);
+    for (auto& c : s2) {
+      // Typical falcon magnitudes: a few hundred.
+      c = static_cast<std::int16_t>(static_cast<std::int64_t>(rng.uniform(801)) - 400);
+    }
+    const auto bytes = compress_s2(s2, 200);
+    ASSERT_TRUE(bytes.has_value());
+    EXPECT_EQ(bytes->size(), 200U);
+    const auto back = decompress_s2(*bytes, n);
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, s2);
+  }
+}
+
+TEST(Codec, CompressEdgeMagnitudes) {
+  const std::vector<std::int16_t> s2 = {0, 1, -1, 127, -127, 128, -128, 2047, -2047};
+  const auto bytes = compress_s2(s2, 64);
+  ASSERT_TRUE(bytes.has_value());
+  const auto back = decompress_s2(*bytes, s2.size());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(*back, s2);
+}
+
+TEST(Codec, CompressRejectsOutOfRange) {
+  EXPECT_FALSE(compress_s2(std::vector<std::int16_t>{2048}, 64).has_value());
+  EXPECT_FALSE(compress_s2(std::vector<std::int16_t>{-2048}, 64).has_value());
+}
+
+TEST(Codec, CompressRejectsOverflow) {
+  // 64 coefficients of magnitude 2047 need ~24 bits each: way over 32 bytes.
+  std::vector<std::int16_t> s2(64, 2047);
+  EXPECT_FALSE(compress_s2(s2, 32).has_value());
+}
+
+TEST(Codec, DecompressRejectsMalformed) {
+  const std::vector<std::int16_t> s2 = {5, -3, 0, 44};
+  const auto good = compress_s2(s2, 16);
+  ASSERT_TRUE(good.has_value());
+
+  // Nonzero padding.
+  auto bad_pad = *good;
+  bad_pad.back() |= 0x01;
+  EXPECT_FALSE(decompress_s2(bad_pad, s2.size()).has_value());
+
+  // Truncated stream.
+  const std::vector<std::uint8_t> truncated(good->begin(), good->begin() + 2);
+  EXPECT_FALSE(decompress_s2(truncated, s2.size()).has_value());
+
+  // Negative zero: sign=1, mag bits all zero, unary terminator.
+  // First 9 bits: 1 0000000 1 -> bytes 0x80, 0x80 then zero padding.
+  std::vector<std::uint8_t> neg_zero = {0x80, 0x80, 0x00, 0x00};
+  EXPECT_FALSE(decompress_s2(neg_zero, 1).has_value());
+}
+
+TEST(Codec, SignatureContainerRoundTrip) {
+  ChaCha20Prng rng(0x9002);
+  const KeyPair kp = keygen(4, rng);
+  const Signature sig = sign(kp.sk, "container", rng);
+  const auto bytes = encode_signature(sig, kp.pk.params);
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_EQ(bytes->size(), kp.pk.params.sig_bytes);
+  const auto back = decode_signature(*bytes, kp.pk.params);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->s2, sig.s2);
+  EXPECT_EQ(std::memcmp(back->salt, sig.salt, kSaltBytes), 0);
+  EXPECT_TRUE(verify(kp.pk, "container", *back));
+
+  // Wrong header byte.
+  auto bad = *bytes;
+  bad[0] ^= 0xFF;
+  EXPECT_FALSE(decode_signature(bad, kp.pk.params).has_value());
+  // Wrong length.
+  bad = *bytes;
+  bad.pop_back();
+  EXPECT_FALSE(decode_signature(bad, kp.pk.params).has_value());
+}
+
+TEST(Codec, PublicKeyRoundTrip) {
+  ChaCha20Prng rng(0x9003);
+  const KeyPair kp = keygen(5, rng);
+  const auto bytes = encode_public_key(kp.pk);
+  EXPECT_EQ(bytes.size(), 1 + (kp.pk.params.n * 14 + 7) / 8);
+  const auto back = decode_public_key(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->h, kp.pk.h);
+  EXPECT_EQ(back->params.logn, kp.pk.params.logn);
+
+  auto bad = bytes;
+  bad[0] = 77;  // invalid logn
+  EXPECT_FALSE(decode_public_key(bad).has_value());
+  bad = bytes;
+  bad.pop_back();
+  EXPECT_FALSE(decode_public_key(bad).has_value());
+}
+
+TEST(Codec, PublicKeyRejectsOutOfRangeCoefficient) {
+  ChaCha20Prng rng(0x9004);
+  KeyPair kp = keygen(4, rng);
+  kp.pk.h[0] = 12289;  // == q: invalid
+  const auto bytes = encode_public_key(kp.pk);
+  EXPECT_FALSE(decode_public_key(bytes).has_value());
+}
+
+TEST(Codec, SecretKeyRoundTripAndSigning) {
+  ChaCha20Prng rng(0x9005);
+  const KeyPair kp = keygen(4, rng);
+  const auto bytes = encode_secret_key(kp.sk);
+  const auto back = decode_secret_key(bytes);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->f, kp.sk.f);
+  EXPECT_EQ(back->g, kp.sk.g);
+  EXPECT_EQ(back->big_f, kp.sk.big_f);
+  EXPECT_EQ(back->big_g, kp.sk.big_g);
+
+  // The re-expanded key must sign verifiably.
+  const Signature sig = sign(*back, "re-expanded", rng);
+  EXPECT_TRUE(verify(kp.pk, "re-expanded", sig));
+}
+
+TEST(Codec, SecretKeyRejectsBadInput) {
+  EXPECT_FALSE(decode_secret_key(std::vector<std::uint8_t>{}).has_value());
+  EXPECT_FALSE(decode_secret_key(std::vector<std::uint8_t>{0x54, 1, 2}).has_value());
+  // Header claims logn=4 but all-zero polynomials fail expansion.
+  std::vector<std::uint8_t> zeros(1 + 8 * 16, 0);
+  zeros[0] = 0x54;
+  EXPECT_FALSE(decode_secret_key(zeros).has_value());
+}
+
+class CompactSkParam : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(CompactSkParam, RoundTripAndSmaller) {
+  const unsigned logn = GetParam();
+  ChaCha20Prng rng(0x9100 + logn);
+  const KeyPair kp = keygen(logn, rng);
+
+  const auto compact = encode_secret_key_compact(kp.sk);
+  const auto plain = encode_secret_key(kp.sk);
+  EXPECT_LT(compact.size(), plain.size());
+
+  const auto back = decode_secret_key_compact(compact);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->f, kp.sk.f);
+  EXPECT_EQ(back->g, kp.sk.g);
+  EXPECT_EQ(back->big_f, kp.sk.big_f);
+  EXPECT_EQ(back->big_g, kp.sk.big_g);
+
+  const Signature sig = sign(*back, "compact key", rng);
+  EXPECT_TRUE(verify(kp.pk, "compact key", sig));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CompactSkParam, ::testing::Values(3U, 5U, 7U));
+
+TEST(Codec, CompactSkRejectsMalformed) {
+  ChaCha20Prng rng(0x9200);
+  const KeyPair kp = keygen(4, rng);
+  const auto good = encode_secret_key_compact(kp.sk);
+
+  EXPECT_FALSE(decode_secret_key_compact(std::vector<std::uint8_t>{}).has_value());
+  auto bad = good;
+  bad[0] = 0x50 + 4;  // wrong container tag
+  EXPECT_FALSE(decode_secret_key_compact(bad).has_value());
+  bad = good;
+  bad.pop_back();
+  EXPECT_FALSE(decode_secret_key_compact(bad).has_value());
+  bad = good;
+  bad.push_back(0);
+  EXPECT_FALSE(decode_secret_key_compact(bad).has_value());
+  bad = good;
+  bad[1] = 1;  // width below minimum
+  EXPECT_FALSE(decode_secret_key_compact(bad).has_value());
+}
+
+TEST(Codec, CompactSkFalcon512Size) {
+  ChaCha20Prng rng(0x9300);
+  const KeyPair kp = keygen(9, rng);
+  const auto compact = encode_secret_key_compact(kp.sk);
+  // f, g at <= 7 bits, F, G at <= 12 bits: well under half of the
+  // 16-bit container (1 + 8*512 = 4097 bytes).
+  EXPECT_LT(compact.size(), 2600U);
+  const auto back = decode_secret_key_compact(compact);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->f, kp.sk.f);
+}
+
+}  // namespace
+}  // namespace fd::falcon

@@ -1,0 +1,100 @@
+// F-row cross-validation: the second multiplication of Alg. 2 line 3
+// (FFT(c) (.) FFT(-F)) leaks F through the identical pipeline. Recover F
+// independently, and check it against both the victim's key and the
+// NTRU equation using only public data plus the recovered f.
+
+#include <gtest/gtest.h>
+
+#include "attack/key_recovery.h"
+#include "common/rng.h"
+#include "falcon/falcon.h"
+#include "falcon/ntru_solve.h"
+#include "zq/zq.h"
+
+namespace fd::attack {
+namespace {
+
+TEST(FRowAttack, RecoversBigFExactly) {
+  ChaCha20Prng rng(0xF70A);
+  const auto victim = falcon::keygen(4, rng);
+
+  KeyRecoveryConfig cfg;
+  cfg.num_traces = 800;
+  cfg.device.noise_sigma = 2.0;
+  cfg.adversarial_random = 120;
+  cfg.seed = 0xF70A;
+
+  const RowRecoveryResult fr = recover_row_poly(victim, cfg, /*row=*/1);
+  EXPECT_EQ(fr.components_correct, fr.components_total);
+  EXPECT_TRUE(fr.exact);
+  EXPECT_EQ(fr.poly, victim.sk.big_f);
+}
+
+TEST(FRowAttack, BothRowsSatisfyNtruEquationWithPublicData) {
+  // Full cross-validation: recover f (row 0) and F (row 1) from traces;
+  // derive g and G from the public key; check f*G - g*F == q exactly.
+  ChaCha20Prng rng(0xF70B);
+  const auto victim = falcon::keygen(4, rng);
+  const std::size_t n = victim.pk.params.n;
+  const unsigned logn = victim.pk.params.logn;
+
+  KeyRecoveryConfig cfg;
+  cfg.num_traces = 800;
+  cfg.device.noise_sigma = 2.0;
+  cfg.adversarial_random = 120;
+  cfg.seed = 0xF70B;
+
+  const RowRecoveryResult f_row = recover_row_poly(victim, cfg, 0);
+  const RowRecoveryResult cap_f_row = recover_row_poly(victim, cfg, 1);
+  ASSERT_TRUE(f_row.exact);
+  ASSERT_TRUE(cap_f_row.exact);
+
+  // g = h*f mod q (small lift); G = h*F mod q (small lift; valid since
+  // G - h*F = (fG - gF)/f * ... == 0 mod q and ||G|| < q/2).
+  std::vector<std::uint32_t> fq(n), capfq(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    fq[i] = zq::from_signed(f_row.poly[i]);
+    capfq[i] = zq::from_signed(cap_f_row.poly[i]);
+  }
+  const auto gq = zq::poly_mul(victim.pk.h, fq, logn);
+  const auto capgq = zq::poly_mul(victim.pk.h, capfq, logn);
+
+  falcon::ZPoly zf(n), zg(n), zF(n), zG(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    zf[i] = BigInt(f_row.poly[i]);
+    zg[i] = BigInt(zq::center(gq[i]));
+    zF[i] = BigInt(cap_f_row.poly[i]);
+    zG[i] = BigInt(zq::center(capgq[i]));
+  }
+  const falcon::ZPoly lhs =
+      falcon::zpoly_sub(falcon::zpoly_mul(zf, zG), falcon::zpoly_mul(zg, zF));
+  EXPECT_EQ(lhs[0], BigInt(12289));
+  for (std::size_t i = 1; i < n; ++i) EXPECT_TRUE(lhs[i].is_zero()) << i;
+}
+
+TEST(FRowAttack, RowSelectionCapturesDifferentSecrets) {
+  // Row-0 and row-1 windows of the same signing runs must leak different
+  // operands (f vs F): compare noiseless XLo columns against both.
+  ChaCha20Prng rng(0xF70C);
+  const auto kp = falcon::keygen(4, rng);
+
+  for (const unsigned row : {0U, 1U}) {
+    sca::CampaignConfig cfg;
+    cfg.num_traces = 3;
+    cfg.device.noise_sigma = 0.0;
+    cfg.seed = 0xF70C;
+    cfg.row = row;
+    const auto set = sca::run_signing_campaign(kp.sk, 0, cfg);
+    const auto& secret = row == 0 ? kp.sk.b01[0] : kp.sk.b11[0];
+    const auto ds = build_component_dataset(set, false);
+    const KnownOperand s = KnownOperand::from(secret);
+    for (std::size_t t = 0; t < ds.num_traces; ++t) {
+      EXPECT_FLOAT_EQ(ds.views[0].samples[sca::window::kOffXLo][t],
+                      static_cast<float>(std::popcount(s.y0)))
+          << "row=" << row;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fd::attack

@@ -1,0 +1,77 @@
+// The standardized parameter sets, end to end: FALCON-512 and
+// FALCON-1024 keygen / sign / verify, signature container sizes, and a
+// real-size capture smoke test. Kept in one file so the slow keygens run
+// once each.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "falcon/falcon.h"
+#include "sca/campaign.h"
+
+namespace fd::falcon {
+namespace {
+
+TEST(Falcon512, EndToEnd) {
+  ChaCha20Prng rng(0x512);
+  const KeyPair kp = keygen(9, rng);
+  ASSERT_EQ(kp.pk.params.n, 512U);
+
+  // Standard-set coefficient ranges: |f|, |g| <= 127 fits the spec's
+  // 6-bit-ish encodings; F, G within +-2047.
+  for (std::size_t i = 0; i < 512; ++i) {
+    EXPECT_LE(std::abs(kp.sk.f[i]), 127);
+    EXPECT_LE(std::abs(kp.sk.g[i]), 127);
+    EXPECT_LT(std::abs(kp.sk.big_f[i]), 2048);
+    EXPECT_LT(std::abs(kp.sk.big_g[i]), 2048);
+  }
+
+  const Signature sig = sign(kp.sk, "falcon-512 message", rng);
+  EXPECT_TRUE(verify(kp.pk, "falcon-512 message", sig));
+  EXPECT_FALSE(verify(kp.pk, "falcon-512 messagE", sig));
+
+  const auto bytes = encode_signature(sig, kp.pk.params);
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_EQ(bytes->size(), 666U);  // the spec's FALCON-512 signature size
+
+  const auto pk_bytes = encode_public_key(kp.pk);
+  EXPECT_EQ(pk_bytes.size(), 1U + 512U * 14U / 8U);  // 897 bytes, as spec
+}
+
+TEST(Falcon1024, EndToEnd) {
+  ChaCha20Prng rng(0x1024);
+  const KeyPair kp = keygen(10, rng);
+  ASSERT_EQ(kp.pk.params.n, 1024U);
+
+  const Signature sig = sign(kp.sk, "falcon-1024 message", rng);
+  EXPECT_TRUE(verify(kp.pk, "falcon-1024 message", sig));
+
+  const auto bytes = encode_signature(sig, kp.pk.params);
+  ASSERT_TRUE(bytes.has_value());
+  EXPECT_EQ(bytes->size(), 1280U);  // the spec's FALCON-1024 signature size
+  EXPECT_EQ(encode_public_key(kp.pk).size(), 1793U);
+}
+
+TEST(Falcon512, CaptureSmokeTest) {
+  // A real-size capture: the windows of a FALCON-512 signing run have
+  // the documented fixed schedule, and the adversary's recomputed
+  // FFT(c) matches the device's operands (noiseless check on ProdLL).
+  ChaCha20Prng rng(0x512C);
+  const KeyPair kp = keygen(9, rng);
+
+  sca::CampaignConfig cfg;
+  cfg.num_traces = 3;
+  cfg.device.noise_sigma = 0.0;
+  const auto set = sca::run_signing_campaign(kp.sk, 200, cfg);
+  ASSERT_EQ(set.traces.size(), 3U);
+  for (const auto& ct : set.traces) {
+    ASSERT_EQ(ct.trace.samples.size(), sca::window::kEventsPerWindow);
+    const auto st =
+        fpr::mul_mantissa_steps(kp.sk.b01[200].significand(), ct.known_re.significand());
+    EXPECT_FLOAT_EQ(ct.trace.samples[sca::window::kOffProdLL],
+                    static_cast<float>(std::popcount(st.prod_ll)));
+  }
+}
+
+}  // namespace
+}  // namespace fd::falcon

@@ -1,0 +1,232 @@
+// FFT correctness: inversion, ring-homomorphism (pointwise product ==
+// negacyclic convolution), adjoints, split/merge, LDL -- across all logn.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+#include "fft/fft.h"
+
+namespace fd::fft {
+namespace {
+
+using fpr::Fpr;
+
+std::vector<Fpr> random_poly(RandomSource& rng, unsigned logn, double scale = 100.0) {
+  const std::size_t n = std::size_t{1} << logn;
+  std::vector<Fpr> f(n);
+  for (auto& c : f) {
+    c = Fpr::from_double((static_cast<double>(rng.next_u64() >> 11) * 0x1.0p-53 - 0.5) * scale);
+  }
+  return f;
+}
+
+std::vector<double> to_doubles(std::span<const Fpr> v) {
+  std::vector<double> r(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) r[i] = v[i].to_double();
+  return r;
+}
+
+// Naive negacyclic convolution in double precision.
+std::vector<double> negacyclic_mul(std::span<const double> a, std::span<const double> b) {
+  const std::size_t n = a.size();
+  std::vector<double> r(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t k = i + j;
+      if (k < n) {
+        r[k] += a[i] * b[j];
+      } else {
+        r[k - n] -= a[i] * b[j];
+      }
+    }
+  }
+  return r;
+}
+
+class FftParam : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(FftParam, InverseRoundTrip) {
+  const unsigned logn = GetParam();
+  ChaCha20Prng rng(0x4000 + logn);
+  const auto f = random_poly(rng, logn);
+  auto t = f;
+  fft(t, logn);
+  ifft(t, logn);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    EXPECT_NEAR(t[i].to_double(), f[i].to_double(), 1e-9) << "i=" << i;
+  }
+}
+
+TEST_P(FftParam, MulMatchesNegacyclicConvolution) {
+  const unsigned logn = GetParam();
+  ChaCha20Prng rng(0x4100 + logn);
+  const auto a = random_poly(rng, logn, 10.0);
+  const auto b = random_poly(rng, logn, 10.0);
+  const auto expect = negacyclic_mul(to_doubles(a), to_doubles(b));
+
+  auto fa = a;
+  auto fb = b;
+  fft(fa, logn);
+  fft(fb, logn);
+  poly_mul_fft(fa, fb, logn);
+  ifft(fa, logn);
+  const double tol = 1e-6 * (std::size_t{1} << logn);
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_NEAR(fa[i].to_double(), expect[i], tol) << "i=" << i;
+  }
+}
+
+TEST_P(FftParam, AdjIsConjugate) {
+  const unsigned logn = GetParam();
+  ChaCha20Prng rng(0x4200 + logn);
+  auto f = random_poly(rng, logn);
+  // adj in FFT domain == coefficient-domain reversal f(1/x) mod x^n+1:
+  // f*adj(f) has real (conjugate-symmetric) FFT, i.e. nonnegative slot
+  // norms; check |f|^2 slots are real and equal a(zeta)*conj(a(zeta)).
+  auto g = f;
+  fft(f, logn);
+  fft(g, logn);
+  poly_muladj_fft(f, g, logn);  // f * adj(f)
+  const std::size_t hn = f.size() / 2;
+  for (std::size_t i = 0; i < hn; ++i) {
+    EXPECT_GE(f[i].to_double(), 0.0);
+    EXPECT_NEAR(f[i + hn].to_double(), 0.0, 1e-6);
+  }
+}
+
+TEST_P(FftParam, MulSelfAdjMatchesMulAdj) {
+  const unsigned logn = GetParam();
+  ChaCha20Prng rng(0x4300 + logn);
+  auto f = random_poly(rng, logn);
+  fft(f, logn);
+  auto a = f;
+  auto b = f;
+  poly_muladj_fft(a, f, logn);
+  poly_mulselfadj_fft(b, logn);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    EXPECT_NEAR(a[i].to_double(), b[i].to_double(), 1e-6);
+  }
+}
+
+TEST_P(FftParam, SplitMergeRoundTrip) {
+  const unsigned logn = GetParam();
+  ChaCha20Prng rng(0x4400 + logn);
+  auto f = random_poly(rng, logn);
+  fft(f, logn);
+  const std::size_t hn = f.size() / 2;
+  std::vector<Fpr> f0(hn), f1(hn), merged(f.size());
+  poly_split_fft(f0, f1, f, logn);
+  poly_merge_fft(merged, f0, f1, logn);
+  for (std::size_t i = 0; i < f.size(); ++i) {
+    EXPECT_NEAR(merged[i].to_double(), f[i].to_double(), 1e-8);
+  }
+}
+
+TEST_P(FftParam, SplitMatchesCoefficientDeinterleave) {
+  // split(FFT(f)) must equal (FFT(f_even), FFT(f_odd)) where
+  // f(x) = f_even(x^2) + x f_odd(x^2).
+  const unsigned logn = GetParam();
+  if (logn < 2) GTEST_SKIP();
+  ChaCha20Prng rng(0x4500 + logn);
+  const auto f = random_poly(rng, logn);
+  const std::size_t n = f.size();
+  std::vector<Fpr> fe(n / 2), fo(n / 2);
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    fe[i] = f[2 * i];
+    fo[i] = f[2 * i + 1];
+  }
+  auto ff = f;
+  fft(ff, logn);
+  std::vector<Fpr> f0(n / 2), f1(n / 2);
+  poly_split_fft(f0, f1, ff, logn);
+
+  fft(fe, logn - 1);
+  fft(fo, logn - 1);
+  for (std::size_t i = 0; i < n / 2; ++i) {
+    EXPECT_NEAR(f0[i].to_double(), fe[i].to_double(), 1e-8) << "even i=" << i;
+    EXPECT_NEAR(f1[i].to_double(), fo[i].to_double(), 1e-8) << "odd i=" << i;
+  }
+}
+
+TEST_P(FftParam, AddSubNeg) {
+  const unsigned logn = GetParam();
+  ChaCha20Prng rng(0x4600 + logn);
+  const auto a = random_poly(rng, logn);
+  const auto b = random_poly(rng, logn);
+  auto t = a;
+  poly_add(t, b, logn);
+  poly_sub(t, b, logn);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(t[i].to_double(), a[i].to_double(), 1e-9);
+  }
+  auto u = a;
+  poly_neg(u, logn);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(u[i].to_double(), -a[i].to_double());
+  }
+}
+
+TEST_P(FftParam, DivUndoesMul) {
+  const unsigned logn = GetParam();
+  ChaCha20Prng rng(0x4700 + logn);
+  auto a = random_poly(rng, logn);
+  auto b = random_poly(rng, logn);
+  fft(a, logn);
+  fft(b, logn);
+  auto t = a;
+  poly_mul_fft(t, b, logn);
+  poly_div_fft(t, b, logn);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_NEAR(t[i].to_double(), a[i].to_double(), 1e-6);
+  }
+}
+
+TEST_P(FftParam, InvNorm2) {
+  const unsigned logn = GetParam();
+  ChaCha20Prng rng(0x4800 + logn);
+  auto a = random_poly(rng, logn);
+  auto b = random_poly(rng, logn);
+  fft(a, logn);
+  fft(b, logn);
+  const std::size_t hn = a.size() / 2;
+  std::vector<Fpr> d(a.size());
+  poly_invnorm2_fft(d, a, b, logn);
+  for (std::size_t i = 0; i < hn; ++i) {
+    const double na = a[i].to_double() * a[i].to_double() +
+                      a[i + hn].to_double() * a[i + hn].to_double();
+    const double nb = b[i].to_double() * b[i].to_double() +
+                      b[i + hn].to_double() * b[i + hn].to_double();
+    EXPECT_NEAR(d[i].to_double(), 1.0 / (na + nb), 1e-6 * std::fabs(d[i].to_double()) + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSizes, FftParam, ::testing::Values(1U, 2U, 3U, 4U, 5U, 6U, 7U, 8U, 9U, 10U));
+
+TEST(Fft, MonomialRootsLieOnUnitCircle) {
+  for (unsigned logn = 2; logn <= 6; ++logn) {
+    const unsigned hn = 1U << (logn - 1);
+    for (unsigned k = 0; k < hn; ++k) {
+      const Cplx z = fft_root(k, logn);
+      const double norm = z.re.to_double() * z.re.to_double() +
+                          z.im.to_double() * z.im.to_double();
+      EXPECT_NEAR(norm, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(Fft, ConstantPolynomial) {
+  // FFT of a constant c is c in every slot (re = c, im = 0).
+  std::vector<Fpr> f(8, fpr::kZero);
+  f[0] = Fpr::from_double(3.5);
+  fft(f, 3);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_NEAR(f[i].to_double(), 3.5, 1e-12);
+    EXPECT_NEAR(f[i + 4].to_double(), 0.0, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace fd::fft

@@ -1,0 +1,244 @@
+// Property tests for the soft-float emulation: every operation must agree
+// bit-for-bit with the host FPU (x86-64 SSE2 is IEEE-754 binary64 with
+// round-to-nearest-even), over the normal range FALCON exercises.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "common/rng.h"
+#include "fpr/fpr.h"
+
+namespace fd::fpr {
+namespace {
+
+// Draws a random normal double with exponent restricted so that products
+// and quotients stay normal (no overflow/underflow): |exponent bias|
+// within +-300 of 1023.
+double random_normal_double(RandomSource& rng) {
+  const std::uint64_t sign = rng.next_u64() & (std::uint64_t{1} << 63);
+  const std::uint64_t exp = 1023 - 300 + rng.uniform(601);
+  const std::uint64_t mant = rng.next_u64() & 0x000FFFFFFFFFFFFFULL;
+  return std::bit_cast<double>(sign | (exp << 52) | mant);
+}
+
+TEST(Fpr, RoundTripBits) {
+  ChaCha20Prng rng(0x1001);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = random_normal_double(rng);
+    EXPECT_EQ(Fpr::from_double(d).to_double(), d);
+    EXPECT_EQ(Fpr::from_double(d).bits(), std::bit_cast<std::uint64_t>(d));
+  }
+}
+
+TEST(Fpr, FieldAccessors) {
+  const Fpr x = Fpr::from_bits(0xC06017BC8036B580ULL);  // the paper's coefficient
+  EXPECT_TRUE(x.sign());
+  EXPECT_EQ(x.biased_exponent(), 0x406U);
+  EXPECT_EQ(x.mantissa_field(), 0x017BC8036B580ULL);
+  EXPECT_EQ(x.significand(), 0x1017BC8036B580ULL);
+}
+
+TEST(Fpr, AddMatchesHardware) {
+  ChaCha20Prng rng(0x1002);
+  for (int i = 0; i < 200000; ++i) {
+    const double a = random_normal_double(rng);
+    const double b = random_normal_double(rng);
+    const double expect = a + b;
+    const Fpr got = fpr_add(Fpr::from_double(a), Fpr::from_double(b));
+    if (std::fpclassify(expect) == FP_SUBNORMAL) continue;  // FPEMU flushes
+    ASSERT_EQ(got.bits(), std::bit_cast<std::uint64_t>(expect))
+        << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(Fpr, AddCloseExponents) {
+  // Cancellation and near-cancellation cases: exponents within +-2,
+  // opposite signs -- the hard paths of the adder.
+  ChaCha20Prng rng(0x1003);
+  for (int i = 0; i < 200000; ++i) {
+    const std::uint64_t mant_a = rng.next_u64() & 0x000FFFFFFFFFFFFFULL;
+    const std::uint64_t mant_b = rng.next_u64() & 0x000FFFFFFFFFFFFFULL;
+    const std::uint64_t exp_a = 1000;
+    const std::uint64_t exp_b = 998 + rng.uniform(5);
+    const double a = std::bit_cast<double>((exp_a << 52) | mant_a);
+    const double b = std::bit_cast<double>((std::uint64_t{1} << 63) | (exp_b << 52) | mant_b);
+    const double expect = a + b;
+    const Fpr got = fpr_add(Fpr::from_double(a), Fpr::from_double(b));
+    if (std::fpclassify(expect) == FP_SUBNORMAL || expect == 0.0) {
+      // Flushed, or exact-zero sign conventions; check value only.
+      ASSERT_EQ(got.to_double(), expect);
+      continue;
+    }
+    ASSERT_EQ(got.bits(), std::bit_cast<std::uint64_t>(expect))
+        << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(Fpr, AddZeroIdentities) {
+  const Fpr pz = Fpr::from_double(0.0);
+  const Fpr nz = Fpr::from_double(-0.0);
+  const Fpr x = Fpr::from_double(3.25);
+  EXPECT_EQ(fpr_add(x, pz).to_double(), 3.25);
+  EXPECT_EQ(fpr_add(pz, x).to_double(), 3.25);
+  EXPECT_EQ(fpr_add(pz, nz).bits(), 0U);                          // +0
+  EXPECT_EQ(fpr_add(nz, nz).bits(), std::uint64_t{1} << 63);      // -0
+  EXPECT_EQ(fpr_add(x, fpr_neg(x)).bits(), 0U);                   // exact cancel -> +0
+}
+
+TEST(Fpr, MulMatchesHardware) {
+  ChaCha20Prng rng(0x1004);
+  for (int i = 0; i < 200000; ++i) {
+    const double a = random_normal_double(rng);
+    const double b = random_normal_double(rng);
+    const double expect = a * b;
+    const Fpr got = fpr_mul(Fpr::from_double(a), Fpr::from_double(b));
+    if (std::fpclassify(expect) == FP_SUBNORMAL) continue;
+    ASSERT_EQ(got.bits(), std::bit_cast<std::uint64_t>(expect))
+        << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(Fpr, MulZero) {
+  const Fpr x = Fpr::from_double(-7.5);
+  EXPECT_EQ(fpr_mul(x, kZero).to_double(), -0.0);
+  EXPECT_TRUE(fpr_mul(x, kZero).sign());
+  EXPECT_FALSE(fpr_mul(x, fpr_neg(kZero)).sign());
+}
+
+TEST(Fpr, DivMatchesHardware) {
+  ChaCha20Prng rng(0x1005);
+  for (int i = 0; i < 100000; ++i) {
+    const double a = random_normal_double(rng);
+    const double b = random_normal_double(rng);
+    const double expect = a / b;
+    const Fpr got = fpr_div(Fpr::from_double(a), Fpr::from_double(b));
+    if (std::fpclassify(expect) == FP_SUBNORMAL) continue;
+    ASSERT_EQ(got.bits(), std::bit_cast<std::uint64_t>(expect))
+        << "a=" << a << " b=" << b;
+  }
+}
+
+TEST(Fpr, SqrtMatchesHardware) {
+  ChaCha20Prng rng(0x1006);
+  for (int i = 0; i < 100000; ++i) {
+    const double a = std::fabs(random_normal_double(rng));
+    const double expect = std::sqrt(a);
+    const Fpr got = fpr_sqrt(Fpr::from_double(a));
+    ASSERT_EQ(got.bits(), std::bit_cast<std::uint64_t>(expect)) << "a=" << a;
+  }
+}
+
+TEST(Fpr, HalfDouble) {
+  ChaCha20Prng rng(0x1007);
+  for (int i = 0; i < 10000; ++i) {
+    const double a = random_normal_double(rng);
+    EXPECT_EQ(fpr_half(Fpr::from_double(a)).to_double(), a * 0.5);
+    EXPECT_EQ(fpr_double(Fpr::from_double(a)).to_double(), a * 2.0);
+  }
+}
+
+TEST(Fpr, OfAndScaled) {
+  ChaCha20Prng rng(0x1008);
+  for (int i = 0; i < 50000; ++i) {
+    const std::int64_t v = static_cast<std::int64_t>(rng.next_u64()) >> rng.uniform(40);
+    EXPECT_EQ(fpr_of(v).to_double(), static_cast<double>(v)) << v;
+  }
+  EXPECT_EQ(fpr_scaled(3, 4).to_double(), 48.0);
+  EXPECT_EQ(fpr_scaled(-5, -2).to_double(), -1.25);
+  EXPECT_EQ(fpr_of(0).bits(), 0U);
+}
+
+TEST(Fpr, RintMatchesHardware) {
+  ChaCha20Prng rng(0x1009);
+  for (int i = 0; i < 100000; ++i) {
+    // Values around the integer range the sampler uses.
+    const double scale = std::ldexp(1.0, static_cast<int>(rng.uniform(40)));
+    const double a = (static_cast<double>(rng.next_u64() >> 11) * 0x1.0p-53 - 0.5) * scale;
+    EXPECT_EQ(fpr_rint(Fpr::from_double(a)), std::llrint(a)) << a;
+  }
+  EXPECT_EQ(fpr_rint(Fpr::from_double(0.5)), 0);   // ties to even
+  EXPECT_EQ(fpr_rint(Fpr::from_double(1.5)), 2);
+  EXPECT_EQ(fpr_rint(Fpr::from_double(2.5)), 2);
+  EXPECT_EQ(fpr_rint(Fpr::from_double(-0.5)), 0);
+  EXPECT_EQ(fpr_rint(Fpr::from_double(-1.5)), -2);
+}
+
+TEST(Fpr, TruncFloor) {
+  ChaCha20Prng rng(0x100A);
+  for (int i = 0; i < 100000; ++i) {
+    const double scale = std::ldexp(1.0, static_cast<int>(rng.uniform(40)));
+    const double a = (static_cast<double>(rng.next_u64() >> 11) * 0x1.0p-53 - 0.5) * scale;
+    EXPECT_EQ(fpr_trunc(Fpr::from_double(a)), static_cast<std::int64_t>(std::trunc(a))) << a;
+    EXPECT_EQ(fpr_floor(Fpr::from_double(a)), static_cast<std::int64_t>(std::floor(a))) << a;
+  }
+}
+
+TEST(Fpr, Lt) {
+  ChaCha20Prng rng(0x100B);
+  for (int i = 0; i < 100000; ++i) {
+    const double a = random_normal_double(rng);
+    const double b = random_normal_double(rng);
+    EXPECT_EQ(fpr_lt(Fpr::from_double(a), Fpr::from_double(b)), a < b);
+  }
+}
+
+TEST(Fpr, ExpmP63Accuracy) {
+  // 2^63 * ccs * exp(-x) for x in [0, ln 2): compare against long double.
+  ChaCha20Prng rng(0x100C);
+  for (int i = 0; i < 2000; ++i) {
+    const double x = static_cast<double>(rng.next_u64() >> 11) * 0x1.0p-53 * 0.6931;
+    const double ccs = static_cast<double>(rng.next_u64() >> 11) * 0x1.0p-53 * 0.999;
+    const std::uint64_t got = fpr_expm_p63(Fpr::from_double(x), Fpr::from_double(ccs));
+    const long double expect =
+        std::exp(-static_cast<long double>(x)) * static_cast<long double>(ccs) * 0x1.0p63L;
+    const long double err = std::fabs(static_cast<long double>(got) - expect);
+    // Taylor-13 truncation + fixed-point rounding: a few parts in 2^51.
+    EXPECT_LT(err, 16384.0L) << "x=" << x << " ccs=" << ccs;
+  }
+}
+
+TEST(Fpr, MulMantissaStepsReassembly) {
+  // The split pipeline must reassemble to the exact 106-bit product.
+  ChaCha20Prng rng(0x100D);
+  for (int i = 0; i < 100000; ++i) {
+    const std::uint64_t xm = (rng.next_u64() & 0x000FFFFFFFFFFFFFULL) | (1ULL << 52);
+    const std::uint64_t ym = (rng.next_u64() & 0x000FFFFFFFFFFFFFULL) | (1ULL << 52);
+    const MulMantissaSteps s = mul_mantissa_steps(xm, ym);
+    const unsigned __int128 p = static_cast<unsigned __int128>(xm) * ym;
+    const unsigned __int128 re = (static_cast<unsigned __int128>(s.zu) << 50) |
+                                 (static_cast<unsigned __int128>(s.z1) << 25) | s.z0;
+    ASSERT_EQ(static_cast<std::uint64_t>(p), static_cast<std::uint64_t>(re));
+    ASSERT_EQ(static_cast<std::uint64_t>(p >> 64), static_cast<std::uint64_t>(re >> 64));
+  }
+}
+
+TEST(Fpr, MulMantissaStepsShiftFalsePositiveStructure) {
+  // The paper's core observation, as an invariant: for mantissa-halves D
+  // and D' = D << 1, the partial product D'*B is exactly (D*B) << 1 --
+  // same Hamming weight, hence indistinguishable by an HW-model CPA on
+  // the multiplication -- while the accumulation z1a differs in a
+  // carry-dependent (not shift-invariant) way.
+  ChaCha20Prng rng(0x100E);
+  int z1a_shift_collisions = 0;
+  constexpr int kCases = 20000;
+  for (int i = 0; i < kCases; ++i) {
+    const std::uint64_t ym = (rng.next_u64() & 0x000FFFFFFFFFFFFFULL) | (1ULL << 52);
+    const std::uint32_t d = static_cast<std::uint32_t>(rng.next_u64()) & (kMantLowMask >> 1);
+    const std::uint64_t xm_lo_d = (1ULL << 52) | d;           // x0 = d (top bits fixed)
+    const std::uint64_t xm_lo_2d = (1ULL << 52) | (d << 1);   // x0 = 2d
+    const MulMantissaSteps a = mul_mantissa_steps(xm_lo_d, ym);
+    const MulMantissaSteps b = mul_mantissa_steps(xm_lo_2d, ym);
+    // Multiplication: exact shift relation => identical popcount.
+    ASSERT_EQ(b.prod_ll, a.prod_ll << 1);
+    ASSERT_EQ(std::popcount(b.prod_ll), std::popcount(a.prod_ll));
+    // Addition: the shift relation breaks for most inputs.
+    if (std::popcount(b.z1a) == std::popcount(a.z1a)) ++z1a_shift_collisions;
+  }
+  // Additions still collide occasionally by chance, but not structurally.
+  EXPECT_LT(z1a_shift_collisions, kCases / 2);
+}
+
+}  // namespace
+}  // namespace fd::fpr

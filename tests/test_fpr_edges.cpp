@@ -1,0 +1,156 @@
+// Soft-float edge cases beyond the random sweeps of test_fpr.cpp:
+// rounding boundaries, subnormal flushes, extreme exponents, and known
+// bit-exact vectors.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+
+#include "common/rng.h"
+#include "fpr/fpr.h"
+
+namespace fd::fpr {
+namespace {
+
+std::uint64_t hw_bits(double d) { return std::bit_cast<std::uint64_t>(d); }
+
+TEST(FprEdges, KnownVectors) {
+  EXPECT_EQ(fpr_mul(kOne, kOne).bits(), hw_bits(1.0));
+  EXPECT_EQ(fpr_add(kOne, kOne).bits(), hw_bits(2.0));
+  EXPECT_EQ(fpr_mul(Fpr::from_double(0.1), Fpr::from_double(10.0)).bits(), hw_bits(0.1 * 10.0));
+  EXPECT_EQ(fpr_div(kOne, Fpr::from_double(3.0)).bits(), hw_bits(1.0 / 3.0));
+  EXPECT_EQ(fpr_sqrt(Fpr::from_double(2.0)).bits(), hw_bits(std::sqrt(2.0)));
+  EXPECT_EQ(fpr_sub(Fpr::from_double(1.0), Fpr::from_double(1e-17)).bits(),
+            hw_bits(1.0 - 1e-17));
+}
+
+TEST(FprEdges, RoundToNearestEvenTies) {
+  // Construct exact-tie products: (2^52 + 1) * (1 + 2^-52) has a mantissa
+  // product with the round bit set and sticky clear in specific spots.
+  // Rather than hand-derive, sweep neighbors of the 53-bit boundary and
+  // require bit-exact agreement with the FPU (which is RNE).
+  for (std::uint64_t m = 0; m < 64; ++m) {
+    const double a = std::bit_cast<double>((std::uint64_t{1023} << 52) | m);  // 1.0 + tiny
+    const double b = std::bit_cast<double>((std::uint64_t{1023} << 52) | (1ULL << 51) | m);
+    EXPECT_EQ(fpr_mul(Fpr::from_double(a), Fpr::from_double(b)).bits(), hw_bits(a * b));
+    EXPECT_EQ(fpr_add(Fpr::from_double(a), Fpr::from_double(b)).bits(), hw_bits(a + b));
+  }
+}
+
+TEST(FprEdges, HalfUlpAdditionBoundary) {
+  // 1.0 + 2^-53 is an exact tie -> rounds to 1.0 (even); 1.0 + 2^-52 is
+  // exact; 1.0 + 1.5*2^-53 rounds up.
+  const double one = 1.0;
+  EXPECT_EQ(fpr_add(Fpr::from_double(one), Fpr::from_double(0x1.0p-53)).bits(), hw_bits(1.0));
+  EXPECT_EQ(fpr_add(Fpr::from_double(one), Fpr::from_double(0x1.0p-52)).bits(),
+            hw_bits(1.0 + 0x1.0p-52));
+  EXPECT_EQ(fpr_add(Fpr::from_double(one), Fpr::from_double(0x1.8p-53)).bits(),
+            hw_bits(1.0 + 0x1.8p-53));
+}
+
+TEST(FprEdges, SubnormalInputsFlushToZero) {
+  const double sub = std::bit_cast<double>(std::uint64_t{0x000FFFFFFFFFFFFF});
+  EXPECT_EQ(fpr_mul(Fpr::from_double(sub), Fpr::from_double(2.0)).to_double(), 0.0);
+  EXPECT_EQ(fpr_add(Fpr::from_double(sub), Fpr::from_double(0.0)).to_double(), 0.0);
+  // FPEMU treats subnormals as zero even when the FPU would not.
+  EXPECT_EQ(fpr_div(Fpr::from_double(sub), Fpr::from_double(2.0)).to_double(), 0.0);
+}
+
+TEST(FprEdges, UnderflowingResultsFlushToZero) {
+  const double tiny = std::bit_cast<double>(std::uint64_t{1} << 52);  // smallest normal
+  const Fpr r = fpr_mul(Fpr::from_double(tiny), Fpr::from_double(0.25));
+  EXPECT_EQ(r.to_double(), 0.0);
+}
+
+TEST(FprEdges, NegativeZeroHandling) {
+  const Fpr nz = Fpr::from_double(-0.0);
+  EXPECT_TRUE(nz.sign());
+  EXPECT_TRUE(nz.is_zero());
+  EXPECT_EQ(fpr_mul(nz, Fpr::from_double(5.0)).bits(), hw_bits(-0.0));
+  EXPECT_EQ(fpr_neg(nz).bits(), hw_bits(0.0));
+  EXPECT_EQ(fpr_rint(nz), 0);
+  EXPECT_EQ(fpr_floor(nz), 0);
+}
+
+TEST(FprEdges, RintBoundaries) {
+  EXPECT_EQ(fpr_rint(Fpr::from_double(0.49999999999999994)), 0);
+  EXPECT_EQ(fpr_rint(Fpr::from_double(0.5000000000000001)), 1);
+  EXPECT_EQ(fpr_rint(Fpr::from_double(4503599627370495.5)), 4503599627370496LL);  // 2^52-0.5
+  EXPECT_EQ(fpr_rint(Fpr::from_double(-2.5)), -2);
+  EXPECT_EQ(fpr_rint(Fpr::from_double(-3.5)), -4);
+  // Large integers are exact.
+  EXPECT_EQ(fpr_rint(Fpr::from_double(0x1.0p62)), std::int64_t{1} << 62);
+}
+
+TEST(FprEdges, FloorTruncLargeMagnitudes) {
+  EXPECT_EQ(fpr_floor(Fpr::from_double(-0.0001)), -1);
+  EXPECT_EQ(fpr_trunc(Fpr::from_double(-0.9999)), 0);
+  EXPECT_EQ(fpr_floor(Fpr::from_double(-123456789.0)), -123456789);
+  EXPECT_EQ(fpr_trunc(Fpr::from_double(0x1.fffffffffffffp51)),
+            static_cast<std::int64_t>(std::trunc(0x1.fffffffffffffp51)));
+}
+
+TEST(FprEdges, ScaledExtremes) {
+  EXPECT_EQ(fpr_scaled(1, -1074).to_double(), 0.0);  // subnormal -> flush
+  EXPECT_EQ(fpr_scaled(1, -1022).to_double(), 0x1.0p-1022);
+  EXPECT_EQ(fpr_scaled(INT64_MIN, 0).to_double(), -0x1.0p63);
+  EXPECT_EQ(fpr_scaled(INT64_MAX, 0).to_double(), static_cast<double>(INT64_MAX));
+}
+
+TEST(FprEdges, LtTotalOrderish) {
+  const double vals[] = {-1e300, -2.5, -0.0, 0.0, 1e-300, 3.25, 1e300};
+  for (const double a : vals) {
+    for (const double b : vals) {
+      if (a == 0.0 && b == 0.0) continue;  // -0 < +0 in our order
+      EXPECT_EQ(fpr_lt(Fpr::from_double(a), Fpr::from_double(b)), a < b)
+          << a << " " << b;
+    }
+  }
+  EXPECT_TRUE(fpr_lt(Fpr::from_double(-0.0), Fpr::from_double(0.0)));
+}
+
+TEST(FprEdges, MulExtremeExponentCombos) {
+  // Products near the top/bottom of the normal range, against the FPU.
+  ChaCha20Prng rng(0xF101);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint64_t ea = 1 + rng.uniform(300);
+    const std::uint64_t eb = 1746 + rng.uniform(300);  // ea+eb ~ 2046..2346
+    const double a = std::bit_cast<double>((ea << 52) | (rng.next_u64() & 0xFFFFFFFFFFFFF));
+    const double b = std::bit_cast<double>((eb << 52) | (rng.next_u64() & 0xFFFFFFFFFFFFF));
+    const double expect = a * b;
+    if (!std::isfinite(expect) || std::fpclassify(expect) == FP_SUBNORMAL || expect == 0.0) {
+      continue;  // FPEMU overflow behaviour is unspecified
+    }
+    EXPECT_EQ(fpr_mul(Fpr::from_double(a), Fpr::from_double(b)).bits(), hw_bits(expect));
+  }
+}
+
+TEST(FprEdges, ExpmSaturatedCcs) {
+  // ccs == 1 exactly (sigma' == sigma_min) saturates the fixed-point
+  // scale and must behave like ccs -> 1, not wrap to 0.
+  const std::uint64_t at_one = fpr_expm_p63(Fpr::from_double(0.25), kOne);
+  const std::uint64_t near_one =
+      fpr_expm_p63(Fpr::from_double(0.25), Fpr::from_double(0.999999999));
+  EXPECT_NEAR(static_cast<double>(at_one), static_cast<double>(near_one),
+              static_cast<double>(near_one) * 1e-6);
+  EXPECT_GT(at_one, std::uint64_t{1} << 62);  // ~ 0.78 * 2^63
+}
+
+TEST(FprEdges, PaperCoefficientDecomposition) {
+  // The decomposition quoted in the paper for 0xC06017BC8036B580:
+  // sign 1, exponent 0x406, mantissa 0x017BC8036B580 with high/low
+  // split 0x00BDE40 / 0x36B580 -- note the paper's "higher-order bits"
+  // elide the hidden bit; with it, x1 = 0x80BDE40.
+  const Fpr x = Fpr::from_bits(0xC06017BC8036B580ULL);
+  EXPECT_TRUE(x.sign());
+  EXPECT_EQ(x.biased_exponent(), 0x406U);
+  EXPECT_EQ(x.mantissa_field(), 0x017BC8036B580ULL);
+  const auto st = mul_mantissa_steps(x.significand(), x.significand());
+  EXPECT_EQ(st.x0, 0x036B580U);
+  EXPECT_EQ(st.x1 & 0x07FFFFFFU, 0x00BDE40U);  // paper's value, sans hidden bit
+  EXPECT_EQ(st.x1, 0x80BDE40U);
+}
+
+}  // namespace
+}  // namespace fd::fpr

@@ -1,0 +1,136 @@
+// Leakage hook behaviour: event ordering, values, nesting, and the
+// guarantee that hypothesis models (mul_mantissa_steps) see exactly what
+// the instrumented fpr_mul emits.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "fpr/fpr.h"
+
+namespace fd::fpr {
+namespace {
+
+class Recorder final : public LeakageSink {
+ public:
+  void on_event(const LeakageEvent& ev) override { events.push_back(ev); }
+  std::vector<LeakageEvent> events;
+
+  [[nodiscard]] const LeakageEvent* find(LeakageTag tag) const {
+    for (const auto& e : events) {
+      if (e.tag == tag) return &e;
+    }
+    return nullptr;
+  }
+};
+
+TEST(FprLeakage, NoSinkNoEvents) {
+  ASSERT_EQ(leakage_sink(), nullptr);
+  (void)fpr_mul(Fpr::from_double(1.5), Fpr::from_double(2.5));  // must not crash
+}
+
+TEST(FprLeakage, ScopedSinkRestores) {
+  Recorder r;
+  {
+    ScopedLeakageSink scope(&r);
+    EXPECT_EQ(leakage_sink(), &r);
+    {
+      ScopedLeakageSink inner(nullptr);
+      EXPECT_EQ(leakage_sink(), nullptr);
+    }
+    EXPECT_EQ(leakage_sink(), &r);
+  }
+  EXPECT_EQ(leakage_sink(), nullptr);
+}
+
+TEST(FprLeakage, MulEmitsPipelineInOrder) {
+  Recorder r;
+  const Fpr x = Fpr::from_bits(0xC06017BC8036B580ULL);  // the paper's example
+  const Fpr y = Fpr::from_double(1.75);
+  {
+    ScopedLeakageSink scope(&r);
+    (void)fpr_mul(x, y);
+  }
+  // Expected order: sign, exponents, operand splits, products/accs, result.
+  const std::vector<LeakageTag> expect = {
+      LeakageTag::kMulSign,      LeakageTag::kMulExpX,      LeakageTag::kMulExpY,
+      LeakageTag::kMulExpSum,    LeakageTag::kMulOperandXLo, LeakageTag::kMulOperandXHi,
+      LeakageTag::kMulOperandYLo, LeakageTag::kMulOperandYHi, LeakageTag::kMulProdLL,
+      LeakageTag::kMulProdLH,    LeakageTag::kMulAccZ1a,    LeakageTag::kMulProdHL,
+      LeakageTag::kMulAccZ1b,    LeakageTag::kMulAccZ2,     LeakageTag::kMulProdHH,
+      LeakageTag::kMulAccZu,     LeakageTag::kMulResult};
+  ASSERT_EQ(r.events.size(), expect.size());
+  for (std::size_t i = 0; i < expect.size(); ++i) {
+    EXPECT_EQ(r.events[i].tag, expect[i]) << "at " << i;
+  }
+}
+
+TEST(FprLeakage, MulEventValuesMatchStepsFunction) {
+  ChaCha20Prng rng(0x3001);
+  for (int i = 0; i < 500; ++i) {
+    const double a = (static_cast<double>(rng.next_u64() >> 11) * 0x1.0p-53 - 0.5) * 256.0;
+    const double b = (static_cast<double>(rng.next_u64() >> 11) * 0x1.0p-53 - 0.5) * 256.0;
+    if (a == 0.0 || b == 0.0) continue;
+    const Fpr x = Fpr::from_double(a);
+    const Fpr y = Fpr::from_double(b);
+
+    Recorder r;
+    {
+      ScopedLeakageSink scope(&r);
+      (void)fpr_mul(x, y);
+    }
+    const MulMantissaSteps st = mul_mantissa_steps(x.significand(), y.significand());
+    ASSERT_NE(r.find(LeakageTag::kMulProdLL), nullptr);
+    EXPECT_EQ(r.find(LeakageTag::kMulProdLL)->value, st.prod_ll);
+    EXPECT_EQ(r.find(LeakageTag::kMulProdLH)->value, st.prod_lh);
+    EXPECT_EQ(r.find(LeakageTag::kMulProdHL)->value, st.prod_hl);
+    EXPECT_EQ(r.find(LeakageTag::kMulProdHH)->value, st.prod_hh);
+    EXPECT_EQ(r.find(LeakageTag::kMulAccZ1a)->value, st.z1a);
+    EXPECT_EQ(r.find(LeakageTag::kMulAccZ1b)->value, st.z1b);
+    EXPECT_EQ(r.find(LeakageTag::kMulAccZu)->value, st.zu);
+    EXPECT_EQ(r.find(LeakageTag::kMulOperandXLo)->value, st.x0);
+    EXPECT_EQ(r.find(LeakageTag::kMulOperandXHi)->value, st.x1);
+    EXPECT_EQ(r.find(LeakageTag::kMulSign)->value,
+              static_cast<std::uint64_t>(x.sign() != y.sign()));
+    EXPECT_EQ(r.find(LeakageTag::kMulExpSum)->value,
+              static_cast<std::uint32_t>(static_cast<std::int32_t>(x.biased_exponent() +
+                                                                   y.biased_exponent()) -
+                                         2100));
+  }
+}
+
+TEST(FprLeakage, AddEmitsEvents) {
+  Recorder r;
+  {
+    ScopedLeakageSink scope(&r);
+    (void)fpr_add(Fpr::from_double(1.0), Fpr::from_double(1e-3));
+  }
+  ASSERT_NE(r.find(LeakageTag::kAddAlignShift), nullptr);
+  ASSERT_NE(r.find(LeakageTag::kAddMantSum), nullptr);
+  ASSERT_NE(r.find(LeakageTag::kAddResult), nullptr);
+  EXPECT_EQ(r.find(LeakageTag::kAddAlignShift)->value, 10U);  // 2^-10 apart
+}
+
+TEST(FprLeakage, ZeroMulShortCircuitsAfterSign) {
+  Recorder r;
+  {
+    ScopedLeakageSink scope(&r);
+    (void)fpr_mul(Fpr::from_double(-2.0), kZero);
+  }
+  ASSERT_EQ(r.events.size(), 1U);
+  EXPECT_EQ(r.events[0].tag, LeakageTag::kMulSign);
+  EXPECT_EQ(r.events[0].value, 1U);
+}
+
+TEST(FprLeakage, TagNamesAreUnique) {
+  for (unsigned i = 0; i < static_cast<unsigned>(LeakageTag::kNumTags); ++i) {
+    for (unsigned j = i + 1; j < static_cast<unsigned>(LeakageTag::kNumTags); ++j) {
+      EXPECT_STRNE(leakage_tag_name(static_cast<LeakageTag>(i)),
+                   leakage_tag_name(static_cast<LeakageTag>(j)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fd::fpr

@@ -1,0 +1,74 @@
+// The paper's end goal as an integration test: recover the entire
+// signing key from EM traces and forge a signature that the victim's
+// public key accepts.
+
+#include <gtest/gtest.h>
+
+#include "attack/key_recovery.h"
+#include "common/rng.h"
+#include "falcon/falcon.h"
+
+namespace fd::attack {
+namespace {
+
+TEST(KeyRecovery, FullAttackRecoversKeyAndForges) {
+  ChaCha20Prng rng(0xC001);
+  const auto victim = falcon::keygen(4, rng);  // n = 16 toy instance
+
+  KeyRecoveryConfig cfg;
+  cfg.num_traces = 700;
+  cfg.device.noise_sigma = 2.0;
+  cfg.adversarial_random = 100;
+  cfg.seed = 0xC001;
+
+  const KeyRecoveryResult res = recover_key(victim, cfg);
+  EXPECT_EQ(res.components_correct, res.components_total);
+  EXPECT_TRUE(res.f_exact);
+  EXPECT_EQ(res.recovered_f, victim.sk.f);
+  EXPECT_TRUE(res.ntru_solved);
+  EXPECT_EQ(res.derived_g, victim.sk.g);
+  EXPECT_TRUE(res.forgery_verified);
+}
+
+TEST(KeyRecovery, HidingCountermeasureDefeatsAttack) {
+  ChaCha20Prng rng(0xC002);
+  const auto victim = falcon::keygen(3, rng);
+
+  KeyRecoveryConfig cfg;
+  cfg.num_traces = 400;
+  cfg.device.noise_sigma = 2.0;
+  cfg.device.constant_weight = true;  // Section V.B hiding
+  cfg.adversarial_random = 60;
+  cfg.seed = 0xC002;
+
+  const KeyRecoveryResult res = recover_key(victim, cfg);
+  // With amplitude independent of data, every correlation is noise:
+  // component recovery collapses to chance.
+  EXPECT_LT(res.components_correct, res.components_total / 2);
+  EXPECT_FALSE(res.f_exact);
+}
+
+TEST(ForgeKey, RejectsWrongF) {
+  ChaCha20Prng rng(0xC003);
+  const auto victim = falcon::keygen(4, rng);
+  auto wrong_f = victim.sk.f;
+  wrong_f[0] += 3;  // g = h*f would have huge coefficients
+  EXPECT_FALSE(forge_key(wrong_f, victim.pk).has_value());
+}
+
+TEST(ForgeKey, SucceedsWithTrueF) {
+  // forge_key re-derives everything from f and the public key alone --
+  // the signatures it produces may differ from the victim's (different
+  // F, G reduction is possible) but must verify.
+  ChaCha20Prng rng(0xC004);
+  const auto victim = falcon::keygen(5, rng);
+  const auto forged = forge_key(victim.sk.f, victim.pk);
+  ASSERT_TRUE(forged.has_value());
+  EXPECT_EQ(forged->g, victim.sk.g);
+  ChaCha20Prng sig_rng(0x51);
+  const auto sig = falcon::sign(*forged, "arbitrary attacker message", sig_rng);
+  EXPECT_TRUE(falcon::verify(victim.pk, "arbitrary attacker message", sig));
+}
+
+}  // namespace
+}  // namespace fd::attack

@@ -1,0 +1,128 @@
+// NTRUSolve: ring-helper identities and the NTRU equation itself across
+// sizes, with Gaussian-sampled inputs like real keygen.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "falcon/ntru_solve.h"
+#include "falcon/params.h"
+#include "falcon/sampler.h"
+
+namespace fd::falcon {
+namespace {
+
+ZPoly sample_small(RandomSource& rng, std::size_t n, double sigma) {
+  KeygenGaussian g(sigma);
+  ZPoly f(n);
+  for (auto& c : f) c = BigInt(g.sample(rng));
+  return f;
+}
+
+bool is_q(const ZPoly& p, std::uint32_t q) {
+  if (p[0] != BigInt(static_cast<std::int64_t>(q))) return false;
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    if (!p[i].is_zero()) return false;
+  }
+  return true;
+}
+
+TEST(ZPoly, MulIsNegacyclic) {
+  // (x^(n-1)) * x = -1 in Z[x]/(x^n + 1).
+  ZPoly a(4, BigInt(0)), b(4, BigInt(0));
+  a[3] = BigInt(1);
+  b[1] = BigInt(1);
+  const ZPoly r = zpoly_mul(a, b);
+  EXPECT_EQ(r[0], BigInt(-1));
+  EXPECT_TRUE(r[1].is_zero());
+  EXPECT_TRUE(r[2].is_zero());
+  EXPECT_TRUE(r[3].is_zero());
+}
+
+TEST(ZPoly, GaloisConjugateIsInvolution) {
+  ChaCha20Prng rng(0x7001);
+  const ZPoly f = sample_small(rng, 16, 20.0);
+  EXPECT_EQ(zpoly_galois_conjugate(zpoly_galois_conjugate(f)), f);
+}
+
+TEST(ZPoly, FieldNormIdentity) {
+  // N(f)(x^2) == f(x) * f(-x) for every f.
+  ChaCha20Prng rng(0x7002);
+  for (const std::size_t n : {2U, 4U, 8U, 16U, 32U}) {
+    const ZPoly f = sample_small(rng, n, 15.0);
+    const ZPoly lhs = zpoly_lift(zpoly_field_norm(f));
+    const ZPoly rhs = zpoly_mul(f, zpoly_galois_conjugate(f));
+    EXPECT_EQ(lhs, rhs) << "n=" << n;
+  }
+}
+
+TEST(ZPoly, FieldNormMultiplicative) {
+  // N(f*g) == N(f) * N(g).
+  ChaCha20Prng rng(0x7003);
+  const ZPoly f = sample_small(rng, 8, 10.0);
+  const ZPoly g = sample_small(rng, 8, 10.0);
+  EXPECT_EQ(zpoly_field_norm(zpoly_mul(f, g)),
+            zpoly_mul(zpoly_field_norm(f), zpoly_field_norm(g)));
+}
+
+TEST(ZPoly, ReduceKeepsLatticeCoset) {
+  // Babai reduction changes (F, G) by multiples of (f, g) only, so
+  // f*G - g*F is invariant.
+  ChaCha20Prng rng(0x7004);
+  const std::size_t n = 16;
+  const ZPoly f = sample_small(rng, n, 5.0);
+  const ZPoly g = sample_small(rng, n, 5.0);
+  // Start from artificially bloated F, G: (F0 + t*f, G0 + t*g).
+  ZPoly big_f = sample_small(rng, n, 1000.0);
+  ZPoly big_g = sample_small(rng, n, 1000.0);
+  const ZPoly before = zpoly_sub(zpoly_mul(f, big_g), zpoly_mul(g, big_f));
+  const std::size_t bits_before = zpoly_max_bitlen(big_f);
+  zpoly_reduce(big_f, big_g, f, g);
+  const ZPoly after = zpoly_sub(zpoly_mul(f, big_g), zpoly_mul(g, big_f));
+  EXPECT_EQ(before, after);
+  EXPECT_LE(zpoly_max_bitlen(big_f), bits_before);
+}
+
+class NtruSolveParam : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(NtruSolveParam, SolvesNtruEquation) {
+  const unsigned logn = GetParam();
+  const std::size_t n = std::size_t{1} << logn;
+  const double sigma = Params::get(std::max(2U, logn)).sigma_fg;
+  ChaCha20Prng rng(0x7100 + logn);
+  int solved = 0;
+  for (int attempt = 0; attempt < 8 && solved < 2; ++attempt) {
+    const ZPoly f = sample_small(rng, n, sigma);
+    const ZPoly g = sample_small(rng, n, sigma);
+    auto sol = ntru_solve(f, g, kQ);
+    if (!sol) continue;  // non-coprime resultants: legitimate retry
+    ++solved;
+    const ZPoly check = zpoly_sub(zpoly_mul(f, sol->big_g), zpoly_mul(g, sol->big_f));
+    EXPECT_TRUE(is_q(check, kQ)) << "logn=" << logn;
+    // Size-reduced F, G stay comfortably below 2^20 for these sizes.
+    EXPECT_LT(zpoly_max_bitlen(sol->big_f), 24U);
+    EXPECT_LT(zpoly_max_bitlen(sol->big_g), 24U);
+  }
+  EXPECT_GE(solved, 1) << "no coprime (f,g) pair in 8 attempts at logn=" << logn;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NtruSolveParam, ::testing::Values(0U, 1U, 2U, 3U, 4U, 5U, 6U));
+
+TEST(NtruSolve, Degree1Bezout) {
+  // n=1: plain Bezout. gcd(3, 5) = 1 -> exact solution.
+  const ZPoly f = {BigInt(3)};
+  const ZPoly g = {BigInt(5)};
+  auto sol = ntru_solve(f, g, kQ);
+  ASSERT_TRUE(sol.has_value());
+  const BigInt check = f[0] * sol->big_g[0] - g[0] * sol->big_f[0];
+  EXPECT_EQ(check, BigInt(12289));
+}
+
+TEST(NtruSolve, NonCoprimeFails) {
+  // f and g both even: gcd of resultants is even, never 1.
+  const ZPoly f = {BigInt(2)};
+  const ZPoly g = {BigInt(4)};
+  EXPECT_FALSE(ntru_solve(f, g, kQ).has_value());
+}
+
+}  // namespace
+}  // namespace fd::falcon

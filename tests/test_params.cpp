@@ -1,0 +1,55 @@
+// Parameter derivation must reproduce the FALCON specification's values
+// for the standardized sets.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "falcon/params.h"
+
+namespace fd::falcon {
+namespace {
+
+TEST(Params, Falcon512MatchesSpec) {
+  const Params p = Params::get(9);
+  EXPECT_EQ(p.n, 512U);
+  EXPECT_NEAR(p.sigma, 165.736617183, 0.05);
+  EXPECT_NEAR(p.sigma_min, 1.277833697, 4e-4);
+  EXPECT_NEAR(p.sigma_max, 1.8205, 1e-9);
+  EXPECT_NEAR(static_cast<double>(p.bound_sq), 34034726.0, 35000.0);  // within 0.1%
+  EXPECT_EQ(p.sig_bytes, 666U);
+  EXPECT_NEAR(p.sigma_fg, 1.17 * std::sqrt(12289.0 / 1024.0), 1e-9);
+}
+
+TEST(Params, Falcon1024MatchesSpec) {
+  const Params p = Params::get(10);
+  EXPECT_EQ(p.n, 1024U);
+  EXPECT_NEAR(p.sigma, 168.388571447, 0.05);
+  EXPECT_NEAR(p.sigma_min, 1.298280334, 4e-4);
+  EXPECT_NEAR(static_cast<double>(p.bound_sq), 70265242.0, 71000.0);
+  EXPECT_EQ(p.sig_bytes, 1280U);
+}
+
+TEST(Params, MonotoneInLogn) {
+  double prev_sigma = 0.0;
+  for (unsigned logn = 2; logn <= 10; ++logn) {
+    const Params p = Params::get(logn);
+    EXPECT_EQ(p.n, std::size_t{1} << logn);
+    EXPECT_GT(p.sigma, prev_sigma);  // sigma grows with n
+    EXPECT_GT(p.sigma_min, 1.0);
+    EXPECT_LT(p.sigma_min, p.sigma_max);
+    EXPECT_GT(p.bound_sq, 0U);
+    EXPECT_GT(p.sig_bytes, kSaltBytes + 1);
+    prev_sigma = p.sigma;
+  }
+}
+
+TEST(Params, SigmaFgShrinksWithN) {
+  // Keygen deviation halves as n quadruples: coefficients stay small for
+  // the standard sets (|f_i| <= 127 with overwhelming probability).
+  EXPECT_GT(Params::get(2).sigma_fg, Params::get(10).sigma_fg);
+  EXPECT_LT(Params::get(9).sigma_fg, 5.0);
+}
+
+}  // namespace
+}  // namespace fd::falcon

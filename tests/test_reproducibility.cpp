@@ -1,0 +1,87 @@
+// Determinism guarantees: every experiment in this repository is seeded,
+// so identical seeds must give bit-identical keys, signatures, traces,
+// and attack outcomes -- the property EXPERIMENTS.md relies on when it
+// quotes exact numbers.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "attack/extend_prune.h"
+#include "common/rng.h"
+#include "falcon/falcon.h"
+#include "sca/campaign.h"
+
+namespace fd {
+namespace {
+
+TEST(Reproducibility, KeygenIsSeedDeterministic) {
+  ChaCha20Prng a(std::uint64_t{0x0DD});
+  ChaCha20Prng b(std::uint64_t{0x0DD});
+  const auto ka = falcon::keygen(4, a);
+  const auto kb = falcon::keygen(4, b);
+  EXPECT_EQ(ka.sk.f, kb.sk.f);
+  EXPECT_EQ(ka.sk.g, kb.sk.g);
+  EXPECT_EQ(ka.sk.big_f, kb.sk.big_f);
+  EXPECT_EQ(ka.pk.h, kb.pk.h);
+  for (std::size_t i = 0; i < ka.sk.tree.size(); ++i) {
+    EXPECT_EQ(ka.sk.tree[i].bits(), kb.sk.tree[i].bits());
+  }
+
+  ChaCha20Prng c(std::uint64_t{0x0DE});
+  const auto kc = falcon::keygen(4, c);
+  EXPECT_NE(ka.pk.h, kc.pk.h);
+}
+
+TEST(Reproducibility, SigningIsSeedDeterministic) {
+  ChaCha20Prng kr(std::uint64_t{0x1DD});
+  const auto kp = falcon::keygen(4, kr);
+  ChaCha20Prng a(std::uint64_t{0x2DD});
+  ChaCha20Prng b(std::uint64_t{0x2DD});
+  const auto sa = falcon::sign(kp.sk, "deterministic", a);
+  const auto sb = falcon::sign(kp.sk, "deterministic", b);
+  EXPECT_EQ(std::memcmp(sa.salt, sb.salt, falcon::kSaltBytes), 0);
+  EXPECT_EQ(sa.s2, sb.s2);
+}
+
+TEST(Reproducibility, CampaignTracesAreSeedDeterministic) {
+  ChaCha20Prng kr(std::uint64_t{0x3DD});
+  const auto kp = falcon::keygen(3, kr);
+  sca::CampaignConfig cfg;
+  cfg.num_traces = 5;
+  cfg.seed = 77;
+  const auto s1 = sca::run_signing_campaign(kp.sk, 0, cfg);
+  const auto s2 = sca::run_signing_campaign(kp.sk, 0, cfg);
+  ASSERT_EQ(s1.traces.size(), s2.traces.size());
+  for (std::size_t t = 0; t < s1.traces.size(); ++t) {
+    EXPECT_EQ(s1.traces[t].known_re.bits(), s2.traces[t].known_re.bits());
+    EXPECT_EQ(s1.traces[t].trace.samples, s2.traces[t].trace.samples);
+  }
+  cfg.seed = 78;
+  const auto s3 = sca::run_signing_campaign(kp.sk, 0, cfg);
+  EXPECT_NE(s1.traces[0].trace.samples, s3.traces[0].trace.samples);
+}
+
+TEST(Reproducibility, AttackOutcomeIsDeterministic) {
+  ChaCha20Prng kr(std::uint64_t{0x4DD});
+  const auto kp = falcon::keygen(4, kr);
+  sca::CampaignConfig cfg;
+  cfg.num_traces = 300;
+  cfg.device.noise_sigma = 2.0;
+  cfg.seed = 99;
+  const auto set = sca::run_signing_campaign(kp.sk, 1, cfg);
+  const auto split = attack::KnownOperand::from(kp.sk.b01[1]);
+
+  attack::ComponentAttackConfig cac;
+  cac.low_candidates = attack::MantissaCandidates::adversarial(split.y0, false, 60, 5);
+  cac.high_candidates = attack::MantissaCandidates::adversarial(split.y1, true, 60, 6);
+
+  const auto ds = attack::build_component_dataset(set, false);
+  const auto r1 = attack::attack_component(ds, cac);
+  const auto r2 = attack::attack_component(ds, cac);
+  EXPECT_EQ(r1.bits, r2.bits);
+  EXPECT_EQ(r1.low_prune.score, r2.low_prune.score);
+}
+
+}  // namespace
+}  // namespace fd

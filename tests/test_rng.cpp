@@ -1,0 +1,83 @@
+// ChaCha20 block function against the RFC 7539 test vector, plus
+// statistical sanity for the RandomSource helpers.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/hex.h"
+#include "common/rng.h"
+
+namespace fd {
+namespace {
+
+TEST(ChaCha20, Rfc7539BlockVector) {
+  // RFC 7539 section 2.3.2.
+  std::uint32_t key[8];
+  for (int i = 0; i < 8; ++i) {
+    key[i] = static_cast<std::uint32_t>(4 * i) | (static_cast<std::uint32_t>(4 * i + 1) << 8) |
+             (static_cast<std::uint32_t>(4 * i + 2) << 16) |
+             (static_cast<std::uint32_t>(4 * i + 3) << 24);
+  }
+  const std::uint32_t nonce[3] = {0x09000000, 0x4a000000, 0x00000000};
+  std::uint8_t out[64];
+  ChaCha20Prng::block(key, 1, nonce, out);
+  EXPECT_EQ(to_hex(out),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+            "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e");
+}
+
+TEST(ChaCha20, DeterministicFromSeed) {
+  ChaCha20Prng a(std::uint64_t{12345});
+  ChaCha20Prng b(std::uint64_t{12345});
+  for (int i = 0; i < 1000; ++i) ASSERT_EQ(a.next_u64(), b.next_u64());
+  ChaCha20Prng c(std::uint64_t{12346});
+  int diffs = 0;
+  ChaCha20Prng a2(std::uint64_t{12345});
+  for (int i = 0; i < 100; ++i) diffs += (a2.next_u64() != c.next_u64());
+  EXPECT_GT(diffs, 95);
+}
+
+TEST(ChaCha20, StringSeedsDiffer) {
+  ChaCha20Prng a("hello");
+  ChaCha20Prng b("world");
+  EXPECT_NE(a.next_u64(), b.next_u64());
+}
+
+TEST(RandomSource, UniformBounds) {
+  ChaCha20Prng rng(std::uint64_t{7});
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.uniform(13), 13U);
+    EXPECT_EQ(rng.uniform(1), 0U);
+  }
+}
+
+TEST(RandomSource, UniformIsRoughlyUniform) {
+  ChaCha20Prng rng(std::uint64_t{8});
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform(kBuckets)];
+  for (const int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 5 * std::sqrt(kDraws / kBuckets));
+  }
+}
+
+TEST(RandomSource, GaussianMoments) {
+  ChaCha20Prng rng(std::uint64_t{9});
+  constexpr int kDraws = 200000;
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum2 / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+}  // namespace
+}  // namespace fd

@@ -1,0 +1,180 @@
+// Capture rig and device model: trigger windowing, event schedules,
+// leakage-to-trace synthesis, countermeasure knobs, campaign structure.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "falcon/falcon.h"
+#include "sca/campaign.h"
+#include "sca/capture.h"
+#include "sca/device.h"
+
+namespace fd::sca {
+namespace {
+
+using fpr::Fpr;
+using fpr::LeakageEvent;
+using fpr::LeakageTag;
+
+std::vector<LeakageEvent> synthetic_window(std::uint64_t base_value, std::size_t count) {
+  std::vector<LeakageEvent> ev(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    ev[i] = {LeakageTag::kMulProdLL, base_value + i};
+  }
+  return ev;
+}
+
+TEST(EventWindowRecorder, CapturesOnlyTargetWindow) {
+  EventWindowRecorder rec(/*slot=*/1);
+  rec.on_event({LeakageTag::kTriggerBegin, 0});
+  rec.on_event({LeakageTag::kMulProdLL, 111});
+  rec.on_event({LeakageTag::kTriggerEnd, 0});
+  rec.on_event({LeakageTag::kTriggerBegin, 1});
+  rec.on_event({LeakageTag::kMulProdLL, 222});
+  rec.on_event({LeakageTag::kTriggerEnd, 1});
+  ASSERT_TRUE(rec.complete());
+  ASSERT_EQ(rec.events().size(), 1U);
+  EXPECT_EQ(rec.events()[0].value, 222U);
+}
+
+TEST(EventWindowRecorder, OccurrenceSelection) {
+  EventWindowRecorder rec(/*slot=*/0, /*occurrence=*/1);
+  for (int occ = 0; occ < 3; ++occ) {
+    rec.on_event({LeakageTag::kTriggerBegin, 0});
+    rec.on_event({LeakageTag::kMulProdLL, static_cast<std::uint64_t>(100 + occ)});
+    rec.on_event({LeakageTag::kTriggerEnd, 0});
+  }
+  ASSERT_TRUE(rec.complete());
+  // occurrence 1 captured; occurrence 2 must not overwrite it.
+  ASSERT_EQ(rec.events().size(), 1U);
+  EXPECT_EQ(rec.events()[0].value, 101U);
+}
+
+TEST(EmDeviceModel, NoiselessAmplitudeIsHammingWeight) {
+  DeviceConfig cfg;
+  cfg.noise_sigma = 0.0;
+  cfg.alpha = 2.0;
+  EmDeviceModel dev(cfg);
+  const auto tr = dev.synthesize(synthetic_window(0b1011, 1));  // HW 3
+  ASSERT_EQ(tr.samples.size(), 1U);
+  EXPECT_FLOAT_EQ(tr.samples[0], 6.0F);
+}
+
+TEST(EmDeviceModel, NoiseHasConfiguredSpread) {
+  DeviceConfig cfg;
+  cfg.noise_sigma = 5.0;
+  EmDeviceModel dev(cfg, /*noise_seed=*/7);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  constexpr int kDraws = 20000;
+  for (int i = 0; i < kDraws; ++i) {
+    const auto tr = dev.synthesize(synthetic_window(0xFF, 1));  // HW 8
+    sum += tr.samples[0];
+    sum2 += static_cast<double>(tr.samples[0]) * tr.samples[0];
+  }
+  const double mean = sum / kDraws;
+  const double sd = std::sqrt(sum2 / kDraws - mean * mean);
+  EXPECT_NEAR(mean, 8.0, 0.2);
+  EXPECT_NEAR(sd, 5.0, 0.2);
+}
+
+TEST(EmDeviceModel, ConstantWeightHidesData) {
+  DeviceConfig cfg;
+  cfg.noise_sigma = 0.0;
+  cfg.constant_weight = true;
+  EmDeviceModel dev(cfg);
+  const auto t1 = dev.synthesize(synthetic_window(0x0, 1));
+  const auto t2 = dev.synthesize(synthetic_window(0xFFFFFFFFFFFFFFFFULL, 1));
+  EXPECT_FLOAT_EQ(t1.samples[0], t2.samples[0]);
+}
+
+TEST(EmDeviceModel, JitterShiftsWindow) {
+  DeviceConfig cfg;
+  cfg.noise_sigma = 0.0;
+  cfg.jitter_max = 4;
+  EmDeviceModel dev(cfg, 9);
+  bool saw_shift = false;
+  for (int i = 0; i < 50 && !saw_shift; ++i) {
+    const auto tr = dev.synthesize(synthetic_window(0xFF, 1));
+    ASSERT_EQ(tr.samples.size(), 5U);  // 1 event + jitter margin
+    saw_shift = tr.samples[0] == 0.0F && tr.samples[1] + tr.samples[2] + tr.samples[3] +
+                                                 tr.samples[4] >
+                                             0.0F;
+  }
+  EXPECT_TRUE(saw_shift);
+}
+
+TEST(Campaign, WindowHasExpectedSchedule) {
+  ChaCha20Prng rng(0xA001);
+  const auto kp = falcon::keygen(4, rng);
+  CampaignConfig cfg;
+  cfg.num_traces = 3;
+  cfg.device.noise_sigma = 0.0;
+  const TraceSet set = run_signing_campaign(kp.sk, /*slot=*/2, cfg);
+  ASSERT_EQ(set.traces.size(), 3U);
+  for (const auto& ct : set.traces) {
+    // 4 muls x 17 events + 2 adds x 3 events.
+    EXPECT_EQ(ct.trace.samples.size(), window::kEventsPerWindow);
+    // The known FFT(c) slot is a real nonzero floating-point value.
+    EXPECT_NE(ct.known_re.to_double(), 0.0);
+    EXPECT_NE(ct.known_im.to_double(), 0.0);
+  }
+}
+
+TEST(Campaign, NoiselessTraceMatchesPredictedLeakage) {
+  // With zero noise, the sample at the ProdLL offset of mul block 0 must
+  // equal HW(x0 * y0) where x is the secret FFT(-f)[slot] and y the
+  // adversary-recomputed FFT(c)[slot].
+  ChaCha20Prng rng(0xA002);
+  const auto kp = falcon::keygen(4, rng);
+  CampaignConfig cfg;
+  cfg.num_traces = 5;
+  cfg.device.noise_sigma = 0.0;
+  const std::size_t slot = 1;
+  const TraceSet set = run_signing_campaign(kp.sk, slot, cfg);
+
+  const Fpr secret_re = kp.sk.b01[slot];
+  for (const auto& ct : set.traces) {
+    const auto st = fpr::mul_mantissa_steps(secret_re.significand(), ct.known_re.significand());
+    const float expect = static_cast<float>(std::popcount(st.prod_ll));
+    EXPECT_FLOAT_EQ(ct.trace.samples[window::kOffProdLL], expect);
+    const float expect_zu = static_cast<float>(std::popcount(st.zu));
+    EXPECT_FLOAT_EQ(ct.trace.samples[window::kOffAccZu], expect_zu);
+    // Sign event: HW(sx ^ sy).
+    const float expect_sign =
+        static_cast<float>(secret_re.sign() != ct.known_re.sign());
+    EXPECT_FLOAT_EQ(ct.trace.samples[window::kOffSign], expect_sign);
+  }
+}
+
+TEST(Campaign, KnownInputsVaryAcrossTraces) {
+  ChaCha20Prng rng(0xA003);
+  const auto kp = falcon::keygen(4, rng);
+  CampaignConfig cfg;
+  cfg.num_traces = 8;
+  const TraceSet set = run_signing_campaign(kp.sk, 0, cfg);
+  int distinct = 0;
+  for (std::size_t i = 1; i < set.traces.size(); ++i) {
+    distinct += set.traces[i].known_re.bits() != set.traces[0].known_re.bits();
+  }
+  EXPECT_GE(distinct, 6);
+}
+
+TEST(Campaign, FullCampaignCoversAllSlots) {
+  ChaCha20Prng rng(0xA004);
+  const auto kp = falcon::keygen(3, rng);
+  CampaignConfig cfg;
+  cfg.num_traces = 2;
+  const auto sets = run_full_campaign(kp.sk, cfg);
+  ASSERT_EQ(sets.size(), 4U);  // n/2 = 4 complex slots
+  for (std::size_t s = 0; s < sets.size(); ++s) {
+    EXPECT_EQ(sets[s].slot, s);
+    ASSERT_EQ(sets[s].traces.size(), 2U);
+    EXPECT_EQ(sets[s].traces[0].trace.samples.size(), window::kEventsPerWindow);
+  }
+}
+
+}  // namespace
+}  // namespace fd::sca

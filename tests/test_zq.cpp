@@ -1,0 +1,121 @@
+// Z_q arithmetic and NTT: inversion, convolution oracle, invertibility.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+#include "zq/zq.h"
+
+namespace fd::zq {
+namespace {
+
+std::vector<std::uint32_t> random_poly(RandomSource& rng, unsigned logn) {
+  std::vector<std::uint32_t> f(std::size_t{1} << logn);
+  for (auto& c : f) c = static_cast<std::uint32_t>(rng.uniform(kQ));
+  return f;
+}
+
+// Naive negacyclic convolution mod q.
+std::vector<std::uint32_t> negacyclic_mul(std::span<const std::uint32_t> a,
+                                          std::span<const std::uint32_t> b) {
+  const std::size_t n = a.size();
+  std::vector<std::int64_t> acc(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::int64_t p = static_cast<std::int64_t>(a[i]) * b[j];
+      const std::size_t k = i + j;
+      if (k < n) {
+        acc[k] += p;
+      } else {
+        acc[k - n] -= p;
+      }
+    }
+  }
+  std::vector<std::uint32_t> r(n);
+  for (std::size_t i = 0; i < n; ++i) r[i] = from_signed(acc[i]);
+  return r;
+}
+
+TEST(Zq, ScalarOps) {
+  EXPECT_EQ(add(kQ - 1, 1), 0U);
+  EXPECT_EQ(sub(0, 1), kQ - 1);
+  EXPECT_EQ(mul(kQ - 1, kQ - 1), 1U);
+  EXPECT_EQ(pow(7, 0), 1U);
+  EXPECT_EQ(pow(7, 1), 7U);
+  EXPECT_EQ(mul(inverse(5), 5), 1U);
+  EXPECT_EQ(center(0), 0);
+  EXPECT_EQ(center(1), 1);
+  EXPECT_EQ(center(kQ - 1), -1);
+  EXPECT_EQ(from_signed(-1), kQ - 1);
+  EXPECT_EQ(from_signed(-static_cast<std::int64_t>(kQ) * 3 - 5), kQ - 5);
+}
+
+TEST(Zq, InverseAll) {
+  // Fermat inversion is total on [1, q): spot check a spread.
+  for (std::uint32_t a = 1; a < kQ; a += 97) {
+    EXPECT_EQ(mul(a, inverse(a)), 1U) << a;
+  }
+}
+
+class ZqNttParam : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ZqNttParam, InttUndoesNtt) {
+  const unsigned logn = GetParam();
+  ChaCha20Prng rng(0x5000 + logn);
+  const auto f = random_poly(rng, logn);
+  auto t = f;
+  ntt(t, logn);
+  intt(t, logn);
+  EXPECT_EQ(t, f);
+}
+
+TEST_P(ZqNttParam, PolyMulMatchesConvolution) {
+  const unsigned logn = GetParam();
+  ChaCha20Prng rng(0x5100 + logn);
+  const auto a = random_poly(rng, logn);
+  const auto b = random_poly(rng, logn);
+  EXPECT_EQ(poly_mul(a, b, logn), negacyclic_mul(a, b));
+}
+
+TEST_P(ZqNttParam, PolyInverse) {
+  const unsigned logn = GetParam();
+  ChaCha20Prng rng(0x5200 + logn);
+  for (int attempt = 0; attempt < 10; ++attempt) {
+    const auto a = random_poly(rng, logn);
+    const auto inv = poly_inverse(a, logn);
+    if (inv.empty()) {
+      EXPECT_FALSE(poly_invertible(a, logn));
+      continue;
+    }
+    EXPECT_TRUE(poly_invertible(a, logn));
+    const auto prod = poly_mul(a, inv, logn);
+    std::vector<std::uint32_t> one(std::size_t{1} << logn, 0);
+    one[0] = 1;
+    EXPECT_EQ(prod, one);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ZqNttParam, ::testing::Values(1U, 2U, 4U, 6U, 8U, 9U, 10U));
+
+TEST(Zq, MulByXIsNegacyclicShift) {
+  // (x^(n-1) * x) mod (x^n + 1) == -1.
+  constexpr unsigned logn = 4;
+  constexpr std::size_t n = 1U << logn;
+  std::vector<std::uint32_t> a(n, 0), b(n, 0);
+  a[n - 1] = 1;
+  b[1] = 1;
+  const auto r = poly_mul(a, b, logn);
+  EXPECT_EQ(r[0], kQ - 1);
+  for (std::size_t i = 1; i < n; ++i) EXPECT_EQ(r[i], 0U);
+}
+
+TEST(Zq, NonInvertibleDetected) {
+  // f(x) = 0 is trivially non-invertible.
+  std::vector<std::uint32_t> zero(16, 0);
+  EXPECT_FALSE(poly_invertible(zero, 4));
+  EXPECT_TRUE(poly_inverse(zero, 4).empty());
+}
+
+}  // namespace
+}  // namespace fd::zq
