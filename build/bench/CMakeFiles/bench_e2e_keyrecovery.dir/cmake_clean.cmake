@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2e_keyrecovery.dir/bench_e2e_keyrecovery.cpp.o"
+  "CMakeFiles/bench_e2e_keyrecovery.dir/bench_e2e_keyrecovery.cpp.o.d"
+  "bench_e2e_keyrecovery"
+  "bench_e2e_keyrecovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2e_keyrecovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e2e_keyrecovery.
+# This may be replaced when dependencies are built.

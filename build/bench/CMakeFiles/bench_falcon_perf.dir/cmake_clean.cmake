@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_falcon_perf.dir/bench_falcon_perf.cpp.o"
+  "CMakeFiles/bench_falcon_perf.dir/bench_falcon_perf.cpp.o.d"
+  "bench_falcon_perf"
+  "bench_falcon_perf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_falcon_perf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_keygen_leakage.dir/bench_keygen_leakage.cpp.o"
+  "CMakeFiles/bench_keygen_leakage.dir/bench_keygen_leakage.cpp.o.d"
+  "bench_keygen_leakage"
+  "bench_keygen_leakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_keygen_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mtd.dir/bench_mtd.cpp.o"
+  "CMakeFiles/bench_mtd.dir/bench_mtd.cpp.o.d"
+  "bench_mtd"
+  "bench_mtd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mtd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_single_trace_keyload.dir/bench_single_trace_keyload.cpp.o"
+  "CMakeFiles/bench_single_trace_keyload.dir/bench_single_trace_keyload.cpp.o.d"
+  "bench_single_trace_keyload"
+  "bench_single_trace_keyload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_single_trace_keyload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

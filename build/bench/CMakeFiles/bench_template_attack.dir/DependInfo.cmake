@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_template_attack.cpp" "bench/CMakeFiles/bench_template_attack.dir/bench_template_attack.cpp.o" "gcc" "bench/CMakeFiles/bench_template_attack.dir/bench_template_attack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/attack/CMakeFiles/fd_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/sca/CMakeFiles/fd_sca.dir/DependInfo.cmake"
+  "/root/repo/build/src/falcon/CMakeFiles/fd_falcon.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/fd_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/zq/CMakeFiles/fd_zq.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpr/CMakeFiles/fd_fpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/fd_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_template_attack.dir/bench_template_attack.cpp.o"
+  "CMakeFiles/bench_template_attack.dir/bench_template_attack.cpp.o.d"
+  "bench_template_attack"
+  "bench_template_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_template_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

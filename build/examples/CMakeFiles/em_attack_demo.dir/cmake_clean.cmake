@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/em_attack_demo.dir/em_attack_demo.cpp.o"
+  "CMakeFiles/em_attack_demo.dir/em_attack_demo.cpp.o.d"
+  "em_attack_demo"
+  "em_attack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/em_attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_attack.dir/cpa.cpp.o"
+  "CMakeFiles/fd_attack.dir/cpa.cpp.o.d"
+  "CMakeFiles/fd_attack.dir/extend_prune.cpp.o"
+  "CMakeFiles/fd_attack.dir/extend_prune.cpp.o.d"
+  "CMakeFiles/fd_attack.dir/key_recovery.cpp.o"
+  "CMakeFiles/fd_attack.dir/key_recovery.cpp.o.d"
+  "CMakeFiles/fd_attack.dir/template_attack.cpp.o"
+  "CMakeFiles/fd_attack.dir/template_attack.cpp.o.d"
+  "libfd_attack.a"
+  "libfd_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_common.dir/bigint.cpp.o"
+  "CMakeFiles/fd_common.dir/bigint.cpp.o.d"
+  "CMakeFiles/fd_common.dir/hex.cpp.o"
+  "CMakeFiles/fd_common.dir/hex.cpp.o.d"
+  "CMakeFiles/fd_common.dir/rng.cpp.o"
+  "CMakeFiles/fd_common.dir/rng.cpp.o.d"
+  "CMakeFiles/fd_common.dir/shake256.cpp.o"
+  "CMakeFiles/fd_common.dir/shake256.cpp.o.d"
+  "libfd_common.a"
+  "libfd_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

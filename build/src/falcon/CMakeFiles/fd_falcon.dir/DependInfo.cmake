@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/falcon/codec.cpp" "src/falcon/CMakeFiles/fd_falcon.dir/codec.cpp.o" "gcc" "src/falcon/CMakeFiles/fd_falcon.dir/codec.cpp.o.d"
+  "/root/repo/src/falcon/keygen.cpp" "src/falcon/CMakeFiles/fd_falcon.dir/keygen.cpp.o" "gcc" "src/falcon/CMakeFiles/fd_falcon.dir/keygen.cpp.o.d"
+  "/root/repo/src/falcon/ntru_solve.cpp" "src/falcon/CMakeFiles/fd_falcon.dir/ntru_solve.cpp.o" "gcc" "src/falcon/CMakeFiles/fd_falcon.dir/ntru_solve.cpp.o.d"
+  "/root/repo/src/falcon/params.cpp" "src/falcon/CMakeFiles/fd_falcon.dir/params.cpp.o" "gcc" "src/falcon/CMakeFiles/fd_falcon.dir/params.cpp.o.d"
+  "/root/repo/src/falcon/sampler.cpp" "src/falcon/CMakeFiles/fd_falcon.dir/sampler.cpp.o" "gcc" "src/falcon/CMakeFiles/fd_falcon.dir/sampler.cpp.o.d"
+  "/root/repo/src/falcon/sign.cpp" "src/falcon/CMakeFiles/fd_falcon.dir/sign.cpp.o" "gcc" "src/falcon/CMakeFiles/fd_falcon.dir/sign.cpp.o.d"
+  "/root/repo/src/falcon/tree.cpp" "src/falcon/CMakeFiles/fd_falcon.dir/tree.cpp.o" "gcc" "src/falcon/CMakeFiles/fd_falcon.dir/tree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/fd_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/fpr/CMakeFiles/fd_fpr.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/fd_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/zq/CMakeFiles/fd_zq.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

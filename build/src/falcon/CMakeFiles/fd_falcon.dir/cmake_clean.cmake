@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_falcon.dir/codec.cpp.o"
+  "CMakeFiles/fd_falcon.dir/codec.cpp.o.d"
+  "CMakeFiles/fd_falcon.dir/keygen.cpp.o"
+  "CMakeFiles/fd_falcon.dir/keygen.cpp.o.d"
+  "CMakeFiles/fd_falcon.dir/ntru_solve.cpp.o"
+  "CMakeFiles/fd_falcon.dir/ntru_solve.cpp.o.d"
+  "CMakeFiles/fd_falcon.dir/params.cpp.o"
+  "CMakeFiles/fd_falcon.dir/params.cpp.o.d"
+  "CMakeFiles/fd_falcon.dir/sampler.cpp.o"
+  "CMakeFiles/fd_falcon.dir/sampler.cpp.o.d"
+  "CMakeFiles/fd_falcon.dir/sign.cpp.o"
+  "CMakeFiles/fd_falcon.dir/sign.cpp.o.d"
+  "CMakeFiles/fd_falcon.dir/tree.cpp.o"
+  "CMakeFiles/fd_falcon.dir/tree.cpp.o.d"
+  "libfd_falcon.a"
+  "libfd_falcon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_falcon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_fft.dir/fft.cpp.o"
+  "CMakeFiles/fd_fft.dir/fft.cpp.o.d"
+  "libfd_fft.a"
+  "libfd_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_fpr.dir/fpr.cpp.o"
+  "CMakeFiles/fd_fpr.dir/fpr.cpp.o.d"
+  "libfd_fpr.a"
+  "libfd_fpr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_fpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

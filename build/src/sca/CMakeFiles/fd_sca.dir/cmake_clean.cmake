@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_sca.dir/campaign.cpp.o"
+  "CMakeFiles/fd_sca.dir/campaign.cpp.o.d"
+  "libfd_sca.a"
+  "libfd_sca.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_sca.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

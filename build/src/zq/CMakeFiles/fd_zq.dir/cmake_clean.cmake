@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_zq.dir/zq.cpp.o"
+  "CMakeFiles/fd_zq.dir/zq.cpp.o.d"
+  "libfd_zq.a"
+  "libfd_zq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_zq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attack_internals.dir/test_attack_internals.cpp.o"
+  "CMakeFiles/test_attack_internals.dir/test_attack_internals.cpp.o.d"
+  "test_attack_internals"
+  "test_attack_internals.pdb"
+  "test_attack_internals[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attack_internals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

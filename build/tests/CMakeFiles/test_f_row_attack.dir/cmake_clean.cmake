@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_f_row_attack.dir/test_f_row_attack.cpp.o"
+  "CMakeFiles/test_f_row_attack.dir/test_f_row_attack.cpp.o.d"
+  "test_f_row_attack"
+  "test_f_row_attack.pdb"
+  "test_f_row_attack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_f_row_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

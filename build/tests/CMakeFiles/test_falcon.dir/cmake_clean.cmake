@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_falcon.dir/test_falcon.cpp.o"
+  "CMakeFiles/test_falcon.dir/test_falcon.cpp.o.d"
+  "test_falcon"
+  "test_falcon.pdb"
+  "test_falcon[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_falcon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

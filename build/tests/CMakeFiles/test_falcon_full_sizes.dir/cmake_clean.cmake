@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_falcon_full_sizes.dir/test_falcon_full_sizes.cpp.o"
+  "CMakeFiles/test_falcon_full_sizes.dir/test_falcon_full_sizes.cpp.o.d"
+  "test_falcon_full_sizes"
+  "test_falcon_full_sizes.pdb"
+  "test_falcon_full_sizes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_falcon_full_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpr.dir/test_fpr.cpp.o"
+  "CMakeFiles/test_fpr.dir/test_fpr.cpp.o.d"
+  "test_fpr"
+  "test_fpr.pdb"
+  "test_fpr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

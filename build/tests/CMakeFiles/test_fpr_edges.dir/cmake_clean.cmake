@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpr_edges.dir/test_fpr_edges.cpp.o"
+  "CMakeFiles/test_fpr_edges.dir/test_fpr_edges.cpp.o.d"
+  "test_fpr_edges"
+  "test_fpr_edges.pdb"
+  "test_fpr_edges[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpr_edges.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

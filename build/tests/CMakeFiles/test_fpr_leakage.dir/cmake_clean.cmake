@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fpr_leakage.dir/test_fpr_leakage.cpp.o"
+  "CMakeFiles/test_fpr_leakage.dir/test_fpr_leakage.cpp.o.d"
+  "test_fpr_leakage"
+  "test_fpr_leakage.pdb"
+  "test_fpr_leakage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fpr_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_masked_sign.dir/test_masked_sign.cpp.o"
+  "CMakeFiles/test_masked_sign.dir/test_masked_sign.cpp.o.d"
+  "test_masked_sign"
+  "test_masked_sign.pdb"
+  "test_masked_sign[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_masked_sign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

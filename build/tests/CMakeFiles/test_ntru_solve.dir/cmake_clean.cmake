@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ntru_solve.dir/test_ntru_solve.cpp.o"
+  "CMakeFiles/test_ntru_solve.dir/test_ntru_solve.cpp.o.d"
+  "test_ntru_solve"
+  "test_ntru_solve.pdb"
+  "test_ntru_solve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ntru_solve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reproducibility.dir/test_reproducibility.cpp.o"
+  "CMakeFiles/test_reproducibility.dir/test_reproducibility.cpp.o.d"
+  "test_reproducibility"
+  "test_reproducibility.pdb"
+  "test_reproducibility[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reproducibility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_shake256.dir/test_shake256.cpp.o"
+  "CMakeFiles/test_shake256.dir/test_shake256.cpp.o.d"
+  "test_shake256"
+  "test_shake256.pdb"
+  "test_shake256[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_shake256.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_template_attack.dir/test_template_attack.cpp.o"
+  "CMakeFiles/test_template_attack.dir/test_template_attack.cpp.o.d"
+  "test_template_attack"
+  "test_template_attack.pdb"
+  "test_template_attack[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_template_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

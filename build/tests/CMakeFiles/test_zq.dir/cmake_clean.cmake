@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zq.dir/test_zq.cpp.o"
+  "CMakeFiles/test_zq.dir/test_zq.cpp.o.d"
+  "test_zq"
+  "test_zq.pdb"
+  "test_zq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zq_leakage.dir/test_zq_leakage.cpp.o"
+  "CMakeFiles/test_zq_leakage.dir/test_zq_leakage.cpp.o.d"
+  "test_zq_leakage"
+  "test_zq_leakage.pdb"
+  "test_zq_leakage[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zq_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_bigint[1]_include.cmake")
+include("/root/repo/build/tests/test_shake256[1]_include.cmake")
+include("/root/repo/build/tests/test_rng[1]_include.cmake")
+include("/root/repo/build/tests/test_fpr[1]_include.cmake")
+include("/root/repo/build/tests/test_fpr_leakage[1]_include.cmake")
+include("/root/repo/build/tests/test_fft[1]_include.cmake")
+include("/root/repo/build/tests/test_zq[1]_include.cmake")
+include("/root/repo/build/tests/test_params[1]_include.cmake")
+include("/root/repo/build/tests/test_sampler[1]_include.cmake")
+include("/root/repo/build/tests/test_ntru_solve[1]_include.cmake")
+include("/root/repo/build/tests/test_falcon[1]_include.cmake")
+include("/root/repo/build/tests/test_codec[1]_include.cmake")
+include("/root/repo/build/tests/test_sca[1]_include.cmake")
+include("/root/repo/build/tests/test_attack[1]_include.cmake")
+include("/root/repo/build/tests/test_key_recovery[1]_include.cmake")
+include("/root/repo/build/tests/test_masked_sign[1]_include.cmake")
+include("/root/repo/build/tests/test_template_attack[1]_include.cmake")
+include("/root/repo/build/tests/test_tree[1]_include.cmake")
+include("/root/repo/build/tests/test_fpr_edges[1]_include.cmake")
+include("/root/repo/build/tests/test_attack_internals[1]_include.cmake")
+include("/root/repo/build/tests/test_zq_leakage[1]_include.cmake")
+include("/root/repo/build/tests/test_falcon_full_sizes[1]_include.cmake")
+include("/root/repo/build/tests/test_f_row_attack[1]_include.cmake")
+include("/root/repo/build/tests/test_op_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_reproducibility[1]_include.cmake")
