@@ -1,7 +1,9 @@
-// Trace inspection: capture one window of the attacked multiplication
-// and print it sample by sample with its event annotation -- the
-// pedagogical version of the paper's Fig. 3 (which marks the mantissa,
-// exponent and sign regions on a real EM trace).
+// Trace inspection: capture a tiny campaign into an .fdtrace archive,
+// re-open it with the streaming reader, and print the slot-0 window
+// sample by sample with its region annotation -- the pedagogical version
+// of the paper's Fig. 3 (which marks the mantissa, exponent and sign
+// regions on a real EM trace), now exercising the capture-once path the
+// real attack uses.
 //
 //   ./trace_inspection [logn] [noise_sigma]
 
@@ -12,29 +14,69 @@
 #include "common/rng.h"
 #include "falcon/falcon.h"
 #include "sca/campaign.h"
-#include "sca/capture.h"
 #include "sca/device.h"
+#include "tracestore/archive.h"
 
 using namespace fd;
 
 namespace {
 
-const char* region_of(fpr::LeakageTag tag) {
-  using T = fpr::LeakageTag;
-  switch (tag) {
-    case T::kMulSign:
-      return "SIGN";
-    case T::kMulExpX:
-    case T::kMulExpY:
-    case T::kMulExpSum:
-      return "EXPONENT";
-    case T::kAddAlignShift:
-    case T::kAddMantSum:
-    case T::kAddResult:
-      return "FP-ADD";
-    default:
-      return "MANTISSA";
+// Event layout of one captured window (4 fpr_mul of 17 events + 2
+// fpr_add of 3), mirrored from sca::window. The archive stores only the
+// adversary-visible samples; this table restores the Fig. 3 annotation.
+struct SampleLabel {
+  const char* event;
+  const char* region;
+};
+
+SampleLabel label_of(std::size_t t) {
+  static constexpr SampleLabel kMulLabels[sca::window::kEventsPerMul] = {
+      {"sign-xor", "SIGN"},      {"exp-x", "EXPONENT"},   {"exp-y", "EXPONENT"},
+      {"exp-sum", "EXPONENT"},   {"x0", "MANTISSA"},      {"x1", "MANTISSA"},
+      {"y0", "MANTISSA"},        {"y1", "MANTISSA"},      {"x0*y0", "MANTISSA"},
+      {"x0*y1", "MANTISSA"},     {"z1a", "MANTISSA"},     {"x1*y0", "MANTISSA"},
+      {"z1b", "MANTISSA"},       {"z2", "MANTISSA"},      {"x1*y1", "MANTISSA"},
+      {"zu", "MANTISSA"},        {"mul-result", "MANTISSA"},
+  };
+  static constexpr SampleLabel kAddLabels[sca::window::kEventsPerAdd] = {
+      {"align-shift", "FP-ADD"}, {"mant-sum", "FP-ADD"}, {"add-result", "FP-ADD"},
+  };
+  const std::size_t mul_span = 4 * sca::window::kEventsPerMul;
+  if (t < mul_span) return kMulLabels[t % sca::window::kEventsPerMul];
+  return kAddLabels[(t - mul_span) % sca::window::kEventsPerAdd];
+}
+
+// Mean absolute sample-to-sample delta: the "is there data-dependent
+// structure" eyeball metric used for the hiding comparison.
+double mean_delta(const std::vector<float>& samples) {
+  double sum = 0.0;
+  for (std::size_t i = 1; i < samples.size(); ++i) {
+    sum += std::fabs(samples[i] - samples[i - 1]);
   }
+  return sum / static_cast<double>(samples.size() - 1);
+}
+
+// Captures a 1-query campaign into `path` and streams back the slot-0
+// record. Returns false (with a message) on any archive failure.
+bool capture_and_reload(const falcon::SecretKey& sk, const sca::CampaignConfig& cfg,
+                        const char* path, tracestore::TraceRecord& out,
+                        tracestore::ArchiveMeta& meta) {
+  const auto res = sca::run_campaign_to_archive(sk, cfg, path);
+  if (!res.ok) {
+    std::fprintf(stderr, "capture failed: %s\n", res.error.c_str());
+    return false;
+  }
+  tracestore::ArchiveReader reader;
+  if (!reader.open(path)) {
+    std::fprintf(stderr, "reopen failed: %s\n", reader.error().c_str());
+    return false;
+  }
+  meta = reader.meta();
+  while (reader.next(out)) {
+    if (out.slot == 0) return true;
+  }
+  std::fprintf(stderr, "no slot-0 record in the archive\n");
+  return false;
 }
 
 }  // namespace
@@ -42,48 +84,46 @@ const char* region_of(fpr::LeakageTag tag) {
 int main(int argc, char** argv) {
   const unsigned logn = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 6;
   const double noise = argc > 2 ? std::atof(argv[2]) : 2.0;
+  const char* path = "trace_inspection.fdtrace";
 
   ChaCha20Prng rng("trace inspection");
   const auto kp = falcon::keygen(logn, rng);
 
-  // Capture the raw event window of slot 0 from one signing run.
-  sca::EventWindowRecorder recorder(/*slot=*/0);
-  {
-    fpr::ScopedLeakageSink scope(&recorder);
-    (void)falcon::sign(kp.sk, "inspected message", rng);
-  }
-  const auto& events = recorder.events();
-  std::printf("captured %zu events in the slot-0 window "
-              "(4 fpr_mul of 17 events + 2 fpr_add of 3 events)\n\n",
-              events.size());
+  sca::CampaignConfig cfg;
+  cfg.num_traces = 1;
+  cfg.device.noise_sigma = noise;
+  cfg.seed = 42;
 
-  sca::DeviceConfig dc;
-  dc.noise_sigma = noise;
-  sca::EmDeviceModel device(dc, /*noise_seed=*/42);
-  const auto trace = device.synthesize(events);
+  tracestore::TraceRecord rec;
+  tracestore::ArchiveMeta meta;
+  if (!capture_and_reload(kp.sk, cfg, path, rec, meta)) return 1;
 
-  std::printf("%-5s %-14s %-9s %18s %4s  %9s\n", "t", "event", "region", "value", "HW",
-              "amplitude");
-  for (std::size_t i = 0; i < events.size(); ++i) {
-    std::printf("%-5zu %-14s %-9s 0x%016llX %4d  %9.3f\n", i,
-                fpr::leakage_tag_name(events[i].tag), region_of(events[i].tag),
-                static_cast<unsigned long long>(events[i].value),
-                std::popcount(events[i].value), trace.samples[i]);
+  std::printf("campaign archived to %s and re-read via ArchiveReader\n", path);
+  std::printf("  n=%u, %u slots, %u samples/trace, device sigma=%g, seed=0x%llX\n\n",
+              1U << meta.logn, meta.num_slots, meta.samples_per_trace, meta.noise_sigma,
+              static_cast<unsigned long long>(meta.seed));
+  std::printf("slot-0 window of query %u  (known FFT(c)[0] = %g + %gi)\n\n", rec.index,
+              fpr::Fpr::from_bits(rec.known_re_bits).to_double(),
+              fpr::Fpr::from_bits(rec.known_im_bits).to_double());
+
+  std::printf("%-5s %-12s %-9s %10s\n", "t", "event", "region", "amplitude");
+  for (std::size_t i = 0; i < rec.samples.size(); ++i) {
+    const SampleLabel label = label_of(i);
+    std::printf("%-5zu %-12s %-9s %10.3f\n", i, label.event, label.region, rec.samples[i]);
   }
 
-  std::printf("\nsame window under the 'hiding' countermeasure (constant weight):\n");
-  sca::DeviceConfig hid = dc;
-  hid.constant_weight = true;
-  sca::EmDeviceModel hidden_device(hid, /*noise_seed=*/42);
-  const auto hidden = hidden_device.synthesize(events);
-  double spread = 0.0;
-  double hidden_spread = 0.0;
-  for (std::size_t i = 1; i < events.size(); ++i) {
-    spread += std::fabs(trace.samples[i] - trace.samples[i - 1]);
-    hidden_spread += std::fabs(hidden.samples[i] - hidden.samples[i - 1]);
-  }
+  // The hiding countermeasure, seen through the same archive pipeline.
+  std::printf("\nsame capture under the 'hiding' countermeasure (constant weight):\n");
+  sca::CampaignConfig hid = cfg;
+  hid.device.constant_weight = true;
+  tracestore::TraceRecord hidden;
+  tracestore::ArchiveMeta hidden_meta;
+  if (!capture_and_reload(kp.sk, hid, path, hidden, hidden_meta)) return 1;
+  std::printf("  archive flags it: constant_weight=%s\n",
+              (hidden_meta.flags & tracestore::kFlagConstantWeight) != 0 ? "yes" : "no");
   std::printf("  mean |delta amplitude| data-dependent: %.3f, hidden: %.3f\n",
-              spread / static_cast<double>(events.size() - 1),
-              hidden_spread / static_cast<double>(events.size() - 1));
+              mean_delta(rec.samples), mean_delta(hidden.samples));
+
+  std::remove(path);
   return 0;
 }

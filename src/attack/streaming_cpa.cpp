@@ -1,0 +1,93 @@
+#include "attack/streaming_cpa.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "sca/device.h"
+
+namespace fd::attack {
+
+namespace {
+
+namespace ww = sca::window;
+
+// Folds one captured window into the accumulator: one add_trace per
+// view, with hypotheses recomputed from that view's known operand. The
+// streamed and in-memory paths share this fold so their floating-point
+// operation order is identical by construction.
+class CpaFold {
+ public:
+  explicit CpaFold(const StreamingCpaSpec& spec)
+      : spec_(spec),
+        engine_(spec.guesses.size(), spec.sample_offsets.size()),
+        hyps_(spec.guesses.size()),
+        samps_(spec.sample_offsets.size()) {
+    assert(!spec.guesses.empty() && !spec.sample_offsets.empty() && spec.model);
+  }
+
+  void add_window(fpr::Fpr known_re, fpr::Fpr known_im, std::span<const float> samples) {
+    for (unsigned v = 0; v < 2; ++v) {
+      const std::size_t block = ww::mul_block_for(spec_.imag_part, v);
+      const std::size_t base = ww::mul_base(static_cast<unsigned>(block));
+      if (base + ww::kEventsPerMul > samples.size()) continue;  // foreign layout
+      const fpr::Fpr known = (block == 0 || block == 3) ? known_re : known_im;
+      const KnownOperand k = KnownOperand::from(known);
+      for (std::size_t g = 0; g < spec_.guesses.size(); ++g) {
+        hyps_[g] = spec_.model(spec_.guesses[g], k);
+      }
+      for (std::size_t c = 0; c < spec_.sample_offsets.size(); ++c) {
+        samps_[c] = samples[base + spec_.sample_offsets[c]];
+      }
+      engine_.add_trace(hyps_, samps_);
+    }
+  }
+
+  [[nodiscard]] CpaEngine take() { return std::move(engine_); }
+
+ private:
+  const StreamingCpaSpec& spec_;
+  CpaEngine engine_;
+  std::vector<double> hyps_;
+  std::vector<float> samps_;
+};
+
+}  // namespace
+
+CpaEngine run_cpa_streaming(tracestore::ArchiveReader& reader,
+                            const StreamingCpaSpec& spec) {
+  CpaFold fold(spec);
+  reader.rewind();
+  tracestore::TraceRecord rec;
+  std::size_t used = 0;
+  while ((spec.max_traces == 0 || used < spec.max_traces) && reader.next(rec)) {
+    if (rec.slot != spec.slot) continue;
+    fold.add_window(fpr::Fpr::from_bits(rec.known_re_bits),
+                    fpr::Fpr::from_bits(rec.known_im_bits), rec.samples);
+    ++used;
+  }
+  return fold.take();
+}
+
+CpaEngine run_cpa_inmemory(const sca::TraceSet& set, const StreamingCpaSpec& spec) {
+  CpaFold fold(spec);
+  const std::size_t limit = spec.max_traces == 0
+                                ? set.traces.size()
+                                : std::min(spec.max_traces, set.traces.size());
+  for (std::size_t t = 0; t < limit; ++t) {
+    const auto& ct = set.traces[t];
+    fold.add_window(ct.known_re, ct.known_im, ct.trace.samples);
+  }
+  return fold.take();
+}
+
+bool attack_component_from_archive(tracestore::ArchiveReader& reader, std::size_t slot,
+                                   bool imag_part, const ComponentAttackConfig& config,
+                                   ComponentResult& out) {
+  sca::TraceSet set;
+  if (!sca::load_trace_set(reader, slot, set) || set.traces.empty()) return false;
+  const ComponentDataset ds = build_component_dataset(set, imag_part);
+  out = attack_component(ds, config);
+  return true;
+}
+
+}  // namespace fd::attack

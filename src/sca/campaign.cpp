@@ -101,6 +101,121 @@ TraceSet run_signing_campaign(const falcon::SecretKey& sk, std::size_t slot,
   return set;
 }
 
+tracestore::ArchiveMeta make_archive_meta(const falcon::SecretKey& sk,
+                                          const CampaignConfig& config,
+                                          std::size_t samples_per_trace,
+                                          std::size_t traces_per_chunk) {
+  tracestore::ArchiveMeta meta;
+  meta.logn = sk.params.logn;
+  meta.row = config.row;
+  meta.num_slots = static_cast<std::uint32_t>(sk.params.n >> 1);
+  meta.samples_per_trace = static_cast<std::uint32_t>(samples_per_trace);
+  meta.traces_per_chunk = static_cast<std::uint32_t>(traces_per_chunk);
+  meta.alpha = config.device.alpha;
+  meta.noise_sigma = config.device.noise_sigma;
+  meta.samples_per_event = config.device.samples_per_event;
+  meta.jitter_max = config.device.jitter_max;
+  if (config.device.constant_weight) meta.flags |= tracestore::kFlagConstantWeight;
+  meta.seed = config.seed;
+  return meta;
+}
+
+ArchiveCampaignResult run_campaign_to_archive(const falcon::SecretKey& sk,
+                                              const CampaignConfig& config,
+                                              const std::string& path,
+                                              std::size_t traces_per_chunk) {
+  const unsigned logn = sk.params.logn;
+  const std::size_t hn = sk.params.n >> 1;
+
+  ChaCha20Prng victim_rng(config.seed ^ 0x5167);
+  EmDeviceModel device(config.device, config.seed ^ 0xD01CE);
+  LastWindowRecorder recorder(hn, config.row);
+  const SignerFn signer = config.signer ? config.signer : SignerFn(&falcon::sign);
+
+  ArchiveCampaignResult out;
+  tracestore::ArchiveWriter writer;
+  tracestore::TraceRecord rec;
+  for (std::size_t d = 0; d < config.num_traces; ++d) {
+    const std::string message = "trace-" + std::to_string(d);
+    recorder.start_run();
+    falcon::Signature sig;
+    {
+      fpr::ScopedLeakageSink scope(&recorder);
+      sig = signer(sk, message, victim_rng);
+    }
+    const auto cf = known_fft_of_hash(sig, message, logn);
+    for (std::size_t s = 0; s < hn; ++s) {
+      const Trace trace = device.synthesize(recorder.window(s));
+      if (d == 0 && s == 0) {
+        // First window fixes the archive's trace length.
+        const auto meta =
+            make_archive_meta(sk, config, trace.samples.size(), traces_per_chunk);
+        if (!writer.open(path, meta)) {
+          out.error = writer.error();
+          return out;
+        }
+      }
+      if (trace.samples.size() != writer.meta().samples_per_trace) {
+        out.error = "signer produced a ragged window length at query " +
+                    std::to_string(d) + ", slot " + std::to_string(s);
+        return out;
+      }
+      rec.slot = static_cast<std::uint32_t>(s);
+      rec.index = static_cast<std::uint32_t>(d);
+      rec.known_re_bits = cf[s].bits();
+      rec.known_im_bits = cf[s + hn].bits();
+      rec.samples = trace.samples;
+      if (!writer.append(rec)) {
+        out.error = writer.error();
+        return out;
+      }
+      ++out.records;
+    }
+    ++out.queries;
+  }
+  if (!writer.close()) {
+    out.error = writer.error();
+    return out;
+  }
+  out.ok = true;
+  return out;
+}
+
+bool load_trace_set(tracestore::ArchiveReader& reader, std::size_t slot, TraceSet& out) {
+  if (!reader.is_open() || slot >= reader.meta().num_slots) return false;
+  reader.rewind();
+  out.slot = slot;
+  out.traces.clear();
+  tracestore::TraceRecord rec;
+  while (reader.next(rec)) {
+    if (rec.slot != slot) continue;
+    CapturedTrace ct;
+    ct.trace.samples = std::move(rec.samples);
+    ct.known_re = Fpr::from_bits(rec.known_re_bits);
+    ct.known_im = Fpr::from_bits(rec.known_im_bits);
+    out.traces.push_back(std::move(ct));
+  }
+  return true;
+}
+
+bool load_all_trace_sets(tracestore::ArchiveReader& reader, std::vector<TraceSet>& out) {
+  if (!reader.is_open()) return false;
+  reader.rewind();
+  const std::size_t hn = reader.meta().num_slots;
+  out.assign(hn, TraceSet{});
+  for (std::size_t s = 0; s < hn; ++s) out[s].slot = s;
+  tracestore::TraceRecord rec;
+  while (reader.next(rec)) {
+    if (rec.slot >= hn) continue;  // defensive: record from a foreign layout
+    CapturedTrace ct;
+    ct.trace.samples = std::move(rec.samples);
+    ct.known_re = Fpr::from_bits(rec.known_re_bits);
+    ct.known_im = Fpr::from_bits(rec.known_im_bits);
+    out[rec.slot].traces.push_back(std::move(ct));
+  }
+  return true;
+}
+
 std::vector<TraceSet> run_full_campaign(const falcon::SecretKey& sk,
                                         const CampaignConfig& config) {
   const unsigned logn = sk.params.logn;

@@ -11,12 +11,14 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
 #include "falcon/keys.h"
 #include "falcon/sign.h"
 #include "fpr/fpr.h"
 #include "sca/device.h"
+#include "tracestore/archive.h"
 
 namespace fd::sca {
 
@@ -56,5 +58,42 @@ struct CampaignConfig {
 // all n/2 per-coefficient trace sets). Memory is O(num_traces * n * 40).
 [[nodiscard]] std::vector<TraceSet> run_full_campaign(const falcon::SecretKey& sk,
                                                       const CampaignConfig& config);
+
+// --- persistent capture (capture once, attack many) -----------------------
+//
+// The archive mode is the bit-exact twin of run_full_campaign: the same
+// victim/device RNG streams, the same per-query slot order, but every
+// (query, slot) window goes straight to disk as a tracestore record, so
+// capture memory is O(n) per query regardless of num_traces. Shards
+// captured under different seeds merge with tracestore::merge_archives.
+
+// Archive metadata describing a campaign under this config.
+[[nodiscard]] tracestore::ArchiveMeta make_archive_meta(const falcon::SecretKey& sk,
+                                                        const CampaignConfig& config,
+                                                        std::size_t samples_per_trace,
+                                                        std::size_t traces_per_chunk);
+
+struct ArchiveCampaignResult {
+  std::size_t queries = 0;  // signing runs captured
+  std::size_t records = 0;  // (query, slot) windows written
+  bool ok = false;
+  std::string error;
+};
+// Runs the campaign and streams it into `path` (.fdtrace). The trace
+// length is taken from the first captured window; a signer whose window
+// length varies across queries is rejected rather than written ragged.
+[[nodiscard]] ArchiveCampaignResult run_campaign_to_archive(
+    const falcon::SecretKey& sk, const CampaignConfig& config, const std::string& path,
+    std::size_t traces_per_chunk = tracestore::kDefaultTracesPerChunk);
+
+// Adversary-side reload: reconstructs the in-memory TraceSet of one
+// slot from an archive (rewinds, then filters the stream). Memory is
+// O(records of that slot), not the whole archive.
+[[nodiscard]] bool load_trace_set(tracestore::ArchiveReader& reader, std::size_t slot,
+                                  TraceSet& out);
+// All slots at once -- the archive equivalent of run_full_campaign's
+// return value (and the same O(records) memory as the in-memory path).
+[[nodiscard]] bool load_all_trace_sets(tracestore::ArchiveReader& reader,
+                                       std::vector<TraceSet>& out);
 
 }  // namespace fd::sca

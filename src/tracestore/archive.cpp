@@ -1,0 +1,401 @@
+#include "tracestore/archive.h"
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstring>
+
+namespace fd::tracestore {
+
+namespace {
+
+// --- little-endian (de)serialization into byte buffers --------------------
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+  put_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void put_f32(std::vector<std::uint8_t>& out, float v) {
+  put_u32(out, std::bit_cast<std::uint32_t>(v));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 | static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         static_cast<std::uint64_t>(get_u32(p + 4)) << 32;
+}
+
+float get_f32(const std::uint8_t* p) { return std::bit_cast<float>(get_u32(p)); }
+double get_f64(const std::uint8_t* p) { return std::bit_cast<double>(get_u64(p)); }
+
+std::vector<std::uint8_t> encode_header(const ArchiveMeta& m) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderBytes);
+  out.insert(out.end(), kFileMagic, kFileMagic + sizeof(kFileMagic));
+  put_u32(out, m.version);
+  put_u32(out, static_cast<std::uint32_t>(kHeaderBytes));
+  put_u32(out, m.logn);
+  put_u32(out, m.row);
+  put_u32(out, m.num_slots);
+  put_u32(out, m.samples_per_trace);
+  put_u32(out, m.traces_per_chunk);
+  put_u32(out, m.flags);
+  put_f64(out, m.alpha);
+  put_f64(out, m.noise_sigma);
+  put_u32(out, m.samples_per_event);
+  put_u32(out, m.jitter_max);
+  put_u64(out, m.seed);
+  put_u64(out, 0);  // reserved
+  return out;
+}
+
+// Parses and sanity-checks a header buffer; returns false with a reason
+// on any structural problem (bad magic, unknown version, zero geometry).
+bool decode_header(std::span<const std::uint8_t> buf, ArchiveMeta& m, std::string& why) {
+  if (buf.size() < kHeaderBytes) {
+    why = "file shorter than the archive header";
+    return false;
+  }
+  if (std::memcmp(buf.data(), kFileMagic, sizeof(kFileMagic)) != 0) {
+    why = "bad magic (not an .fdtrace archive)";
+    return false;
+  }
+  m.version = get_u32(buf.data() + 8);
+  if (m.version != kFormatVersion) {
+    why = "unsupported format version " + std::to_string(m.version) + " (reader speaks " +
+          std::to_string(kFormatVersion) + ")";
+    return false;
+  }
+  const std::uint32_t header_bytes = get_u32(buf.data() + 12);
+  if (header_bytes != kHeaderBytes) {
+    why = "unexpected header size " + std::to_string(header_bytes);
+    return false;
+  }
+  m.logn = get_u32(buf.data() + 16);
+  m.row = get_u32(buf.data() + 20);
+  m.num_slots = get_u32(buf.data() + 24);
+  m.samples_per_trace = get_u32(buf.data() + 28);
+  m.traces_per_chunk = get_u32(buf.data() + 32);
+  m.flags = get_u32(buf.data() + 36);
+  m.alpha = get_f64(buf.data() + 40);
+  m.noise_sigma = get_f64(buf.data() + 48);
+  m.samples_per_event = get_u32(buf.data() + 56);
+  m.jitter_max = get_u32(buf.data() + 60);
+  m.seed = get_u64(buf.data() + 64);
+  if (m.samples_per_trace == 0 || m.traces_per_chunk == 0) {
+    why = "degenerate geometry (zero samples_per_trace or traces_per_chunk)";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t crc32(std::span<const std::uint8_t> data, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) c = (c & 1) ? 0xEDB88320U ^ (c >> 1) : c >> 1;
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t c = seed ^ 0xFFFFFFFFU;
+  for (const std::uint8_t b : data) c = table[(c ^ b) & 0xFFU] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFU;
+}
+
+bool ArchiveMeta::compatible_with(const ArchiveMeta& other) const {
+  return version == other.version && logn == other.logn && row == other.row &&
+         num_slots == other.num_slots && samples_per_trace == other.samples_per_trace &&
+         alpha == other.alpha && noise_sigma == other.noise_sigma &&
+         samples_per_event == other.samples_per_event && jitter_max == other.jitter_max &&
+         (flags & kFlagConstantWeight) == (other.flags & kFlagConstantWeight);
+}
+
+// --- writer ---------------------------------------------------------------
+
+ArchiveWriter::~ArchiveWriter() { (void)close(); }
+
+void ArchiveWriter::fail(const std::string& what) {
+  error_ = what;
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+}
+
+bool ArchiveWriter::open(const std::string& path, const ArchiveMeta& meta) {
+  if (file_ != nullptr) {
+    error_ = "writer already open";
+    return false;
+  }
+  if (meta.samples_per_trace == 0 || meta.traces_per_chunk == 0) {
+    error_ = "meta needs nonzero samples_per_trace and traces_per_chunk";
+    return false;
+  }
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    error_ = "cannot open '" + path + "' for writing";
+    return false;
+  }
+  meta_ = meta;
+  meta_.version = kFormatVersion;
+  records_written_ = 0;
+  pending_records_ = 0;
+  payload_.clear();
+  payload_.reserve(meta_.traces_per_chunk * meta_.record_bytes());
+  const auto header = encode_header(meta_);
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size()) {
+    fail("short write on header");
+    return false;
+  }
+  return true;
+}
+
+bool ArchiveWriter::append(const TraceRecord& rec) {
+  if (file_ == nullptr) {
+    error_ = "writer not open";
+    return false;
+  }
+  if (rec.samples.size() != meta_.samples_per_trace) {
+    fail("record has " + std::to_string(rec.samples.size()) + " samples, archive expects " +
+         std::to_string(meta_.samples_per_trace));
+    return false;
+  }
+  put_u32(payload_, rec.slot);
+  put_u32(payload_, rec.index);
+  put_u64(payload_, rec.known_re_bits);
+  put_u64(payload_, rec.known_im_bits);
+  for (const float s : rec.samples) put_f32(payload_, s);
+  ++pending_records_;
+  ++records_written_;
+  if (pending_records_ == meta_.traces_per_chunk) return flush_chunk();
+  return true;
+}
+
+bool ArchiveWriter::flush_chunk() {
+  if (pending_records_ == 0) return true;
+  std::vector<std::uint8_t> header;
+  header.reserve(kChunkHeaderBytes);
+  put_u32(header, kChunkMagic);
+  put_u32(header, static_cast<std::uint32_t>(pending_records_));
+  put_u32(header, crc32(payload_));
+  put_u32(header, 0);  // reserved
+  if (std::fwrite(header.data(), 1, header.size(), file_) != header.size() ||
+      std::fwrite(payload_.data(), 1, payload_.size(), file_) != payload_.size()) {
+    fail("short write on chunk");
+    return false;
+  }
+  payload_.clear();
+  pending_records_ = 0;
+  return true;
+}
+
+bool ArchiveWriter::close() {
+  if (file_ == nullptr) return error_.empty();
+  const bool flushed = flush_chunk();
+  if (file_ != nullptr) {
+    const bool closed = std::fclose(file_) == 0;
+    file_ = nullptr;
+    if (flushed && !closed) error_ = "close failed";
+    return flushed && closed;
+  }
+  return flushed;
+}
+
+// --- reader ---------------------------------------------------------------
+
+ArchiveReader::~ArchiveReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool ArchiveReader::open(const std::string& path) {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  stats_ = {};
+  chunk_.clear();
+  chunk_pos_ = 0;
+  max_resident_ = 0;
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    error_ = "cannot open '" + path + "' for reading";
+    return false;
+  }
+  std::array<std::uint8_t, kHeaderBytes> buf;
+  const std::size_t got = std::fread(buf.data(), 1, buf.size(), file_);
+  std::string why;
+  if (!decode_header({buf.data(), got}, meta_, why)) {
+    error_ = why;
+    std::fclose(file_);
+    file_ = nullptr;
+    return false;
+  }
+  return true;
+}
+
+bool ArchiveReader::load_next_chunk() {
+  chunk_.clear();
+  chunk_pos_ = 0;
+  const std::size_t record_bytes = meta_.record_bytes();
+  std::vector<std::uint8_t> payload;
+  for (;;) {
+    std::array<std::uint8_t, kChunkHeaderBytes> head;
+    const std::size_t got = std::fread(head.data(), 1, head.size(), file_);
+    if (got == 0) return false;  // clean end of stream
+    if (got < head.size()) {
+      stats_.truncated_tail = true;
+      return false;
+    }
+    const std::uint32_t magic = get_u32(head.data());
+    const std::uint32_t count = get_u32(head.data() + 4);
+    const std::uint32_t want_crc = get_u32(head.data() + 8);
+    if (magic != kChunkMagic || count == 0 || count > meta_.traces_per_chunk) {
+      // Structure is gone; without a trustworthy length there is nothing
+      // to skip over, so treat the rest of the file as a damaged tail.
+      stats_.truncated_tail = true;
+      return false;
+    }
+    payload.resize(count * record_bytes);
+    if (std::fread(payload.data(), 1, payload.size(), file_) != payload.size()) {
+      stats_.truncated_tail = true;
+      return false;
+    }
+    if (crc32(payload) != want_crc) {
+      ++stats_.chunks_corrupt;
+      continue;  // chunk length was intact, so the next header is right here
+    }
+    ++stats_.chunks_ok;
+    chunk_.resize(count);
+    for (std::uint32_t i = 0; i < count; ++i) {
+      const std::uint8_t* p = payload.data() + i * record_bytes;
+      TraceRecord& r = chunk_[i];
+      r.slot = get_u32(p);
+      r.index = get_u32(p + 4);
+      r.known_re_bits = get_u64(p + 8);
+      r.known_im_bits = get_u64(p + 16);
+      r.samples.resize(meta_.samples_per_trace);
+      for (std::uint32_t s = 0; s < meta_.samples_per_trace; ++s) {
+        r.samples[s] = get_f32(p + 24 + 4 * s);
+      }
+    }
+    max_resident_ = std::max(max_resident_, chunk_.size());
+    return true;
+  }
+}
+
+bool ArchiveReader::next(TraceRecord& out) {
+  if (file_ == nullptr) return false;
+  if (chunk_pos_ == chunk_.size() && !load_next_chunk()) return false;
+  out = std::move(chunk_[chunk_pos_]);
+  ++chunk_pos_;
+  ++stats_.records_read;
+  return true;
+}
+
+std::size_t ArchiveReader::next_batch(std::vector<TraceRecord>& out,
+                                      std::size_t max_records) {
+  std::size_t n = 0;
+  TraceRecord rec;
+  while (n < max_records && next(rec)) {
+    out.push_back(std::move(rec));
+    ++n;
+  }
+  return n;
+}
+
+void ArchiveReader::rewind() {
+  if (file_ == nullptr) return;
+  std::fseek(file_, static_cast<long>(kHeaderBytes), SEEK_SET);
+  stats_ = {};
+  chunk_.clear();
+  chunk_pos_ = 0;
+}
+
+// --- verify / merge -------------------------------------------------------
+
+bool verify_archive(const std::string& path, VerifyReport& report, std::string* error) {
+  ArchiveReader reader;
+  if (!reader.open(path)) {
+    if (error != nullptr) *error = reader.error();
+    return false;
+  }
+  TraceRecord rec;
+  while (reader.next(rec)) {
+  }
+  report.meta = reader.meta();
+  report.records = reader.stats().records_read;
+  report.chunks_ok = reader.stats().chunks_ok;
+  report.chunks_corrupt = reader.stats().chunks_corrupt;
+  report.truncated_tail = reader.stats().truncated_tail;
+  return true;
+}
+
+bool merge_archives(std::span<const std::string> inputs, const std::string& out_path,
+                    std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (inputs.empty()) return fail("merge needs at least one input");
+
+  // Pass 1: check compatibility and count each shard's signing queries
+  // (max index + 1), which re-bases the indices of later shards.
+  ArchiveMeta base;
+  std::vector<std::uint64_t> query_counts(inputs.size(), 0);
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    ArchiveReader reader;
+    if (!reader.open(inputs[i])) return fail(inputs[i] + ": " + reader.error());
+    if (i == 0) {
+      base = reader.meta();
+    } else if (!base.compatible_with(reader.meta())) {
+      return fail(inputs[i] + ": incompatible with " + inputs[0] +
+                  " (logn/row/slots/trace-length/device must match)");
+    }
+    TraceRecord rec;
+    while (reader.next(rec)) {
+      query_counts[i] = std::max(query_counts[i], static_cast<std::uint64_t>(rec.index) + 1);
+    }
+  }
+
+  ArchiveMeta out_meta = base;
+  out_meta.flags |= kFlagMerged;
+  ArchiveWriter writer;
+  if (!writer.open(out_path, out_meta)) return fail(writer.error());
+
+  // Pass 2: stream every intact record through, shifting indices.
+  std::uint64_t index_base = 0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    ArchiveReader reader;
+    if (!reader.open(inputs[i])) return fail(inputs[i] + ": " + reader.error());
+    TraceRecord rec;
+    while (reader.next(rec)) {
+      rec.index = static_cast<std::uint32_t>(index_base + rec.index);
+      if (!writer.append(rec)) return fail(writer.error());
+    }
+    index_base += query_counts[i];
+  }
+  if (!writer.close()) return fail(writer.error());
+  return true;
+}
+
+}  // namespace fd::tracestore

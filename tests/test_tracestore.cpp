@@ -1,0 +1,313 @@
+// Trace-archive format tests: byte-exact roundtrip, header gating,
+// damage recovery (corrupt chunks, truncated tails), shard merging, and
+// the bounded-memory reading contract.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "tracestore/archive.h"
+
+namespace fd::tracestore {
+namespace {
+
+constexpr std::size_t kSamples = 10;
+constexpr std::size_t kTracesPerChunk = 8;
+
+ArchiveMeta small_meta() {
+  ArchiveMeta m;
+  m.logn = 4;
+  m.row = 0;
+  m.num_slots = 8;
+  m.samples_per_trace = kSamples;
+  m.traces_per_chunk = kTracesPerChunk;
+  m.alpha = 1.0;
+  m.noise_sigma = 2.0;
+  m.seed = 0x5EED;
+  return m;
+}
+
+TraceRecord make_record(std::uint32_t i, ChaCha20Prng& rng) {
+  TraceRecord r;
+  r.slot = i % 8;
+  r.index = i / 8;
+  r.known_re_bits = rng.next_u64();
+  r.known_im_bits = rng.next_u64();
+  r.samples.resize(kSamples);
+  for (auto& s : r.samples) s = static_cast<float>(rng.gaussian());
+  return r;
+}
+
+// Writes `count` deterministic records and returns them.
+std::vector<TraceRecord> write_archive(const std::string& path, std::size_t count,
+                                       std::uint64_t seed = 0xA7C41) {
+  ChaCha20Prng rng(seed);
+  std::vector<TraceRecord> recs;
+  ArchiveWriter writer;
+  EXPECT_TRUE(writer.open(path, small_meta())) << writer.error();
+  for (std::size_t i = 0; i < count; ++i) {
+    recs.push_back(make_record(static_cast<std::uint32_t>(i), rng));
+    EXPECT_TRUE(writer.append(recs.back())) << writer.error();
+  }
+  EXPECT_TRUE(writer.close()) << writer.error();
+  return recs;
+}
+
+// In-place byte surgery on an archive file.
+void patch_file(const std::string& path, long offset, std::uint8_t xor_mask) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  const int c = std::fgetc(f);
+  ASSERT_NE(c, EOF);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  std::fputc(c ^ xor_mask, f);
+  std::fclose(f);
+}
+
+void truncate_file(const std::string& path, long new_size) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::vector<char> bytes(static_cast<std::size_t>(new_size));
+  ASSERT_EQ(std::fread(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+  f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  std::fclose(f);
+}
+
+std::size_t chunk_offset(std::size_t chunk) {
+  return kHeaderBytes + chunk * (kChunkHeaderBytes + kTracesPerChunk * (24 + 4 * kSamples));
+}
+
+struct TempFile {
+  explicit TempFile(std::string p) : path(std::move(p)) { std::remove(path.c_str()); }
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+TEST(Crc32, KnownVector) {
+  const char* s = "123456789";
+  EXPECT_EQ(crc32({reinterpret_cast<const std::uint8_t*>(s), 9}), 0xCBF43926U);
+}
+
+TEST(Archive, RoundTripIsExact) {
+  TempFile tmp("ts_roundtrip.fdtrace");
+  const auto recs = write_archive(tmp.path, 20);  // 2 full chunks + partial
+
+  ArchiveReader reader;
+  ASSERT_TRUE(reader.open(tmp.path)) << reader.error();
+  EXPECT_EQ(reader.meta().logn, 4U);
+  EXPECT_EQ(reader.meta().num_slots, 8U);
+  EXPECT_EQ(reader.meta().seed, 0x5EEDULL);
+
+  TraceRecord rec;
+  for (const auto& want : recs) {
+    ASSERT_TRUE(reader.next(rec));
+    EXPECT_EQ(rec.slot, want.slot);
+    EXPECT_EQ(rec.index, want.index);
+    EXPECT_EQ(rec.known_re_bits, want.known_re_bits);
+    EXPECT_EQ(rec.known_im_bits, want.known_im_bits);
+    ASSERT_EQ(rec.samples.size(), want.samples.size());
+    for (std::size_t s = 0; s < kSamples; ++s) {
+      // Bit-exact: floats survive the container unchanged.
+      EXPECT_EQ(rec.samples[s], want.samples[s]);
+    }
+  }
+  EXPECT_FALSE(reader.next(rec));
+  EXPECT_EQ(reader.stats().records_read, recs.size());
+  EXPECT_EQ(reader.stats().chunks_ok, 3U);
+  EXPECT_TRUE(reader.stats().clean());
+}
+
+TEST(Archive, RewindReplaysFromTheTop) {
+  TempFile tmp("ts_rewind.fdtrace");
+  write_archive(tmp.path, 11);
+  ArchiveReader reader;
+  ASSERT_TRUE(reader.open(tmp.path));
+  TraceRecord rec;
+  while (reader.next(rec)) {
+  }
+  reader.rewind();
+  std::size_t again = 0;
+  while (reader.next(rec)) ++again;
+  EXPECT_EQ(again, 11U);
+}
+
+TEST(Archive, RejectsBadMagic) {
+  TempFile tmp("ts_badmagic.fdtrace");
+  write_archive(tmp.path, 4);
+  patch_file(tmp.path, 0, 0xFF);
+  ArchiveReader reader;
+  EXPECT_FALSE(reader.open(tmp.path));
+  EXPECT_NE(reader.error().find("magic"), std::string::npos);
+}
+
+TEST(Archive, RejectsUnknownVersion) {
+  TempFile tmp("ts_badver.fdtrace");
+  write_archive(tmp.path, 4);
+  patch_file(tmp.path, 8, 0x40);  // version u32 lives at offset 8
+  ArchiveReader reader;
+  EXPECT_FALSE(reader.open(tmp.path));
+  EXPECT_NE(reader.error().find("version"), std::string::npos);
+}
+
+TEST(Archive, CorruptedChunkIsSkippedNotFatal) {
+  TempFile tmp("ts_corrupt.fdtrace");
+  write_archive(tmp.path, 3 * kTracesPerChunk);
+  // Flip one payload byte in the middle chunk.
+  patch_file(tmp.path, static_cast<long>(chunk_offset(1) + kChunkHeaderBytes + 5), 0x01);
+
+  ArchiveReader reader;
+  ASSERT_TRUE(reader.open(tmp.path));
+  TraceRecord rec;
+  std::vector<std::uint32_t> indices;
+  while (reader.next(rec)) indices.push_back(rec.index * 8 + rec.slot);
+  // Chunks 0 and 2 survive; chunk 1's records are gone but nothing dies.
+  EXPECT_EQ(indices.size(), 2 * kTracesPerChunk);
+  EXPECT_EQ(indices.front(), 0U);
+  EXPECT_EQ(indices.back(), 3 * kTracesPerChunk - 1);
+  EXPECT_EQ(reader.stats().chunks_ok, 2U);
+  EXPECT_EQ(reader.stats().chunks_corrupt, 1U);
+  EXPECT_FALSE(reader.stats().truncated_tail);
+}
+
+TEST(Archive, TruncatedTailEndsStreamCleanly) {
+  TempFile tmp("ts_trunc.fdtrace");
+  write_archive(tmp.path, 3 * kTracesPerChunk);
+  // Cut the file in the middle of chunk 2's payload.
+  truncate_file(tmp.path, static_cast<long>(chunk_offset(2) + kChunkHeaderBytes + 30));
+
+  ArchiveReader reader;
+  ASSERT_TRUE(reader.open(tmp.path));
+  TraceRecord rec;
+  std::size_t n = 0;
+  while (reader.next(rec)) ++n;
+  EXPECT_EQ(n, 2 * kTracesPerChunk);
+  EXPECT_TRUE(reader.stats().truncated_tail);
+  EXPECT_EQ(reader.stats().chunks_corrupt, 0U);
+}
+
+TEST(Archive, TruncatedChunkHeaderEndsStreamCleanly) {
+  TempFile tmp("ts_trunchdr.fdtrace");
+  write_archive(tmp.path, 2 * kTracesPerChunk);
+  truncate_file(tmp.path, static_cast<long>(chunk_offset(1) + 7));
+  ArchiveReader reader;
+  ASSERT_TRUE(reader.open(tmp.path));
+  TraceRecord rec;
+  std::size_t n = 0;
+  while (reader.next(rec)) ++n;
+  EXPECT_EQ(n, kTracesPerChunk);
+  EXPECT_TRUE(reader.stats().truncated_tail);
+}
+
+TEST(Archive, VerifyReportsDamage) {
+  TempFile tmp("ts_verify.fdtrace");
+  write_archive(tmp.path, 2 * kTracesPerChunk);
+
+  VerifyReport report;
+  ASSERT_TRUE(verify_archive(tmp.path, report));
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(report.records, 2 * kTracesPerChunk);
+
+  patch_file(tmp.path, static_cast<long>(chunk_offset(0) + kChunkHeaderBytes + 2), 0x80);
+  ASSERT_TRUE(verify_archive(tmp.path, report));
+  EXPECT_FALSE(report.clean());
+  EXPECT_EQ(report.chunks_corrupt, 1U);
+  EXPECT_EQ(report.records, kTracesPerChunk);
+}
+
+TEST(Archive, WriterRejectsRaggedRecords) {
+  TempFile tmp("ts_ragged.fdtrace");
+  ArchiveWriter writer;
+  ASSERT_TRUE(writer.open(tmp.path, small_meta()));
+  TraceRecord r;
+  r.samples.resize(kSamples + 1);
+  EXPECT_FALSE(writer.append(r));
+  EXPECT_NE(writer.error().find("samples"), std::string::npos);
+}
+
+TEST(Archive, BatchReadingIsChunkBounded) {
+  TempFile small("ts_small.fdtrace");
+  TempFile large("ts_large.fdtrace");
+  write_archive(small.path, 2 * kTracesPerChunk);
+  write_archive(large.path, 10 * kTracesPerChunk);
+
+  std::size_t residents[2];
+  const std::string* paths[2] = {&small.path, &large.path};
+  for (int i = 0; i < 2; ++i) {
+    ArchiveReader reader;
+    ASSERT_TRUE(reader.open(*paths[i]));
+    std::vector<TraceRecord> batch;
+    std::size_t total = 0;
+    for (;;) {
+      batch.clear();
+      const std::size_t got = reader.next_batch(batch, 3);
+      if (got == 0) break;
+      EXPECT_LE(got, 3U);
+      total += got;
+    }
+    EXPECT_EQ(total, (i == 0 ? 2 : 10) * kTracesPerChunk);
+    residents[i] = reader.max_resident_records();
+    EXPECT_LE(residents[i], kTracesPerChunk);
+  }
+  // Peak decoded state is the chunk size, independent of archive length.
+  EXPECT_EQ(residents[0], residents[1]);
+}
+
+TEST(Merge, ShardCountsAddUpAndIndicesRebase) {
+  TempFile a("ts_shard_a.fdtrace");
+  TempFile b("ts_shard_b.fdtrace");
+  TempFile out("ts_merged.fdtrace");
+  write_archive(a.path, 24, /*seed=*/1);  // queries 0..2 over 8 slots
+  write_archive(b.path, 16, /*seed=*/2);  // queries 0..1 over 8 slots
+
+  const std::string inputs[2] = {a.path, b.path};
+  std::string error;
+  ASSERT_TRUE(merge_archives(inputs, out.path, &error)) << error;
+
+  ArchiveReader reader;
+  ASSERT_TRUE(reader.open(out.path));
+  EXPECT_NE(reader.meta().flags & kFlagMerged, 0U);
+  TraceRecord rec;
+  std::size_t n = 0;
+  std::uint32_t max_index = 0;
+  while (reader.next(rec)) {
+    ++n;
+    max_index = std::max(max_index, rec.index);
+  }
+  EXPECT_EQ(n, 24U + 16U);
+  // Shard A had queries 0..2, so shard B's queries became 3..4.
+  EXPECT_EQ(max_index, 4U);
+  EXPECT_TRUE(reader.stats().clean());
+}
+
+TEST(Merge, IncompatibleShardsRejected) {
+  TempFile a("ts_inc_a.fdtrace");
+  TempFile b("ts_inc_b.fdtrace");
+  TempFile out("ts_inc_out.fdtrace");
+  write_archive(a.path, 8);
+  {
+    ArchiveMeta other = small_meta();
+    other.samples_per_trace = kSamples + 2;
+    ArchiveWriter writer;
+    ASSERT_TRUE(writer.open(b.path, other));
+    TraceRecord r;
+    r.samples.resize(kSamples + 2);
+    ASSERT_TRUE(writer.append(r));
+    ASSERT_TRUE(writer.close());
+  }
+  const std::string inputs[2] = {a.path, b.path};
+  std::string error;
+  EXPECT_FALSE(merge_archives(inputs, out.path, &error));
+  EXPECT_NE(error.find("incompatible"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fd::tracestore

@@ -1,0 +1,153 @@
+// fd-tracedb: offline tooling for .fdtrace archives.
+//
+//   fd-tracedb info <archive>                 header + record census
+//   fd-tracedb verify <archive>               CRC walk; exit 1 on damage
+//   fd-tracedb merge <out> <in1> <in2> [...]  join shards into one archive
+//   fd-tracedb export-csv <archive> [slot [max_records]]
+//
+// Links only fd_tracestore: the tool runs anywhere the capture rig does
+// not (analysis boxes, CI), which is the point of a persistent format.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tracestore/archive.h"
+
+using namespace fd::tracestore;
+
+namespace {
+
+void print_meta(const ArchiveMeta& m) {
+  std::printf("format version     %u\n", m.version);
+  std::printf("logn               %u (n = %u)\n", m.logn, 1U << m.logn);
+  std::printf("basis row          %u (%s)\n", m.row, m.row == 0 ? "f-row" : "F-row");
+  std::printf("complex slots      %u\n", m.num_slots);
+  std::printf("samples per trace  %u\n", m.samples_per_trace);
+  std::printf("traces per chunk   %u\n", m.traces_per_chunk);
+  std::printf("device             alpha=%g sigma=%g spe=%u jitter=%u%s\n", m.alpha,
+              m.noise_sigma, m.samples_per_event, m.jitter_max,
+              (m.flags & kFlagConstantWeight) != 0 ? " constant-weight" : "");
+  std::printf("capture seed       0x%llX%s\n", static_cast<unsigned long long>(m.seed),
+              (m.flags & kFlagMerged) != 0 ? " (merged shards)" : "");
+}
+
+int cmd_info(const std::string& path) {
+  ArchiveReader reader;
+  if (!reader.open(path)) {
+    std::fprintf(stderr, "fd-tracedb: %s\n", reader.error().c_str());
+    return 2;
+  }
+  print_meta(reader.meta());
+  TraceRecord rec;
+  std::size_t per_slot_min = SIZE_MAX;
+  std::size_t per_slot_max = 0;
+  std::vector<std::size_t> per_slot(reader.meta().num_slots, 0);
+  while (reader.next(rec)) {
+    if (rec.slot < per_slot.size()) ++per_slot[rec.slot];
+  }
+  for (const std::size_t c : per_slot) {
+    per_slot_min = std::min(per_slot_min, c);
+    per_slot_max = std::max(per_slot_max, c);
+  }
+  const auto& st = reader.stats();
+  std::printf("records            %zu (%zu..%zu per slot)\n", st.records_read,
+              per_slot.empty() ? 0 : per_slot_min, per_slot_max);
+  std::printf("chunks             %zu ok, %zu corrupt%s\n", st.chunks_ok, st.chunks_corrupt,
+              st.truncated_tail ? ", truncated tail" : "");
+  return 0;
+}
+
+int cmd_verify(const std::string& path) {
+  VerifyReport report;
+  std::string error;
+  if (!verify_archive(path, report, &error)) {
+    std::fprintf(stderr, "fd-tracedb: %s\n", error.c_str());
+    return 2;
+  }
+  std::printf("%s: %zu records in %zu chunks", path.c_str(), report.records,
+              report.chunks_ok + report.chunks_corrupt);
+  if (report.clean()) {
+    std::printf(" -- OK\n");
+    return 0;
+  }
+  std::printf(" -- DAMAGED (%zu corrupt chunk%s%s)\n", report.chunks_corrupt,
+              report.chunks_corrupt == 1 ? "" : "s",
+              report.truncated_tail ? ", truncated tail" : "");
+  return 1;
+}
+
+int cmd_merge(const std::string& out, std::span<const std::string> inputs) {
+  std::string error;
+  if (!merge_archives(inputs, out, &error)) {
+    std::fprintf(stderr, "fd-tracedb: merge failed: %s\n", error.c_str());
+    return 2;
+  }
+  VerifyReport report;
+  if (!verify_archive(out, report, &error)) {
+    std::fprintf(stderr, "fd-tracedb: merged archive unreadable: %s\n", error.c_str());
+    return 2;
+  }
+  std::printf("merged %zu input%s -> %s (%zu records)\n", inputs.size(),
+              inputs.size() == 1 ? "" : "s", out.c_str(), report.records);
+  return 0;
+}
+
+int cmd_export_csv(const std::string& path, long slot, std::size_t max_records) {
+  ArchiveReader reader;
+  if (!reader.open(path)) {
+    std::fprintf(stderr, "fd-tracedb: %s\n", reader.error().c_str());
+    return 2;
+  }
+  std::printf("slot,index,known_re_bits,known_im_bits");
+  for (std::uint32_t s = 0; s < reader.meta().samples_per_trace; ++s) {
+    std::printf(",s%u", s);
+  }
+  std::printf("\n");
+  TraceRecord rec;
+  std::size_t emitted = 0;
+  while (emitted < max_records && reader.next(rec)) {
+    if (slot >= 0 && rec.slot != static_cast<std::uint32_t>(slot)) continue;
+    std::printf("%u,%u,0x%016llX,0x%016llX", rec.slot, rec.index,
+                static_cast<unsigned long long>(rec.known_re_bits),
+                static_cast<unsigned long long>(rec.known_im_bits));
+    for (const float v : rec.samples) std::printf(",%.9g", v);
+    std::printf("\n");
+    ++emitted;
+  }
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fd-tracedb info <archive>\n"
+               "       fd-tracedb verify <archive>\n"
+               "       fd-tracedb merge <out> <in1> <in2> [...]\n"
+               "       fd-tracedb export-csv <archive> [slot [max_records]]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const std::string cmd = argv[1];
+  if (cmd == "info") return cmd_info(argv[2]);
+  if (cmd == "verify") return cmd_verify(argv[2]);
+  if (cmd == "merge") {
+    if (argc < 4) return usage();
+    const std::vector<std::string> inputs(argv + 3, argv + argc);
+    return cmd_merge(argv[2], inputs);
+  }
+  if (cmd == "export-csv") {
+    const long slot = argc > 3 ? std::atol(argv[3]) : -1;
+    const std::size_t max_records =
+        argc > 4 ? static_cast<std::size_t>(std::atoll(argv[4])) : SIZE_MAX;
+    return cmd_export_csv(argv[2], slot, max_records);
+  }
+  return usage();
+}
