@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench_harness.h"
 #include "bench_util.h"
 #include "falcon/falcon.h"
 #include "falcon/masked_sign.h"
@@ -25,7 +26,8 @@ struct Row {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness("countermeasures", argc, argv);
   std::printf("== Countermeasures (Section V.B): sign-bit MTD and mantissa recovery ==\n\n");
 
   const fpr::Fpr secret = fpr::Fpr::from_bits(kPaperCoefficient);
@@ -56,6 +58,7 @@ int main() {
 
   std::printf("%-28s %12s %12s %12s\n", "device", "sign MTD", "mant-add MTD", "x0 recovered");
   for (std::size_t i = 0; i < rows.size(); ++i) {
+    bench::WallTimer timer;
     const auto set = synthetic_coefficient_campaign(secret, fpr::Fpr::from_double(7777.25),
                                                     kTraces, rows[i].dev, 9,
                                                     0xC0DE + static_cast<std::uint64_t>(i));
@@ -90,6 +93,9 @@ int main() {
     std::snprintf(add_s, sizeof add_s, add_mtd ? "%zu" : "never", add_mtd);
     std::printf("%-28s %12s %12s %12s\n", rows[i].name, sign_s, add_s,
                 comp.x0 == split.y0 ? "YES" : "no");
+    char params[96];
+    std::snprintf(params, sizeof params, "device=%s traces=%zu", rows[i].name, kTraces);
+    harness.report("countermeasure_row", params, timer.ms());
   }
 
   // ---- masking (the countermeasure the paper calls for) ------------------
@@ -98,6 +104,7 @@ int main() {
     ChaCha20Prng keyrng("masking bench key");
     const auto kp = falcon::keygen(5, keyrng);
     for (const bool masked : {false, true}) {
+      bench::WallTimer timer;
       sca::CampaignConfig camp;
       camp.num_traces = 1500;
       camp.device.noise_sigma = 1.0;  // very generous to the attacker
@@ -118,6 +125,8 @@ int main() {
                   masked ? "masked signer" : "plain signer",
                   (comp.x0 == tsplit.y0 && comp.x1 == tsplit.y1) ? "YES" : "no",
                   comp.low_prune.score);
+      harness.report(masked ? "masked_signer" : "plain_signer", "logn=5 traces=1500",
+                     timer.ms());
     }
   }
 

@@ -12,12 +12,14 @@
 #include <cstdio>
 
 #include "attack/key_recovery.h"
+#include "bench_harness.h"
 #include "common/rng.h"
 #include "falcon/falcon.h"
 
 using namespace fd;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness("e2e_keyrecovery", argc, argv);
   std::printf("== End-to-end key recovery + forgery ==\n\n");
   std::printf("%6s %8s %10s %12s %8s %8s %8s %10s\n", "n", "traces", "components",
               "recovered", "f-exact", "NTRU", "forged", "seconds");
@@ -42,6 +44,11 @@ int main() {
                 cfg.num_traces, res.components_total, res.components_correct,
                 res.components_total, res.f_exact ? "YES" : "no",
                 res.ntru_solved ? "YES" : "no", res.forgery_verified ? "YES" : "no", secs);
+    char params[96];
+    std::snprintf(params, sizeof params, "n=%zu traces=%zu noise=%.0f", victim.pk.params.n,
+                  cfg.num_traces, cfg.device.noise_sigma);
+    harness.report("recover_key", params, secs * 1e3,
+                   static_cast<double>(res.components_total) / secs, "components/s");
     all_ok = all_ok && res.forgery_verified;
   }
   std::printf("\npaper: 'the adversary can recover the entire secret key and\n"

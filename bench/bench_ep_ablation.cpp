@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench_harness.h"
 #include "bench_util.h"
 
 using namespace fd;
@@ -23,7 +24,12 @@ constexpr double kNoise = 4.0;
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness("ep_ablation", argc, argv);
+  char params[96];
+  std::snprintf(params, sizeof params, "coeffs=%d traces=%zu noise=%.0f", kCoefficients,
+                kTraces, kNoise);
+  bench::WallTimer timer;
   std::printf("== Extend-and-prune ablation: %d coefficients, %zu traces each ==\n\n",
               kCoefficients, kTraces);
 
@@ -89,5 +95,7 @@ int main() {
   std::printf("\npaper's claim: the mult-only attack cannot resolve the shift family;\n"
               "extend-and-prune eliminates the false positives. Reproduced iff the\n"
               "tied count is large and the extend-and-prune count is ~all.\n");
+  harness.report("ablation", params, timer.ms(),
+                 static_cast<double>(kCoefficients) / timer.s(), "coeffs/s");
   return ep_correct >= kCoefficients * 9 / 10 ? 0 : 1;
 }

@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_harness.h"
 #include "common/rng.h"
 #include "falcon/falcon.h"
 #include "fft/fft.h"
@@ -102,6 +103,37 @@ void BM_FprMul(benchmark::State& state) {
 }
 BENCHMARK(BM_FprMul);
 
+// Forwards every finished benchmark run to the shared JSON harness, so
+// `--json <path>` yields the same one-object-per-measurement stream as
+// the plain benches while stdout keeps google-benchmark's console table.
+class HarnessReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit HarnessReporter(fd::bench::Harness& harness) : harness_(harness) {}
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      const double iters = static_cast<double>(run.iterations);
+      const double wall_ms = iters > 0.0 ? run.real_accumulated_time / iters * 1e3 : 0.0;
+      const double per_s =
+          run.real_accumulated_time > 0.0 ? iters / run.real_accumulated_time : 0.0;
+      harness_.report(run.benchmark_name(), "", wall_ms, per_s, "iters/s");
+    }
+  }
+
+ private:
+  fd::bench::Harness& harness_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  fd::bench::Harness harness("falcon_perf", argc, argv);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  HarnessReporter reporter(harness);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

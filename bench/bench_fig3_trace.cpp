@@ -9,6 +9,7 @@
 #include <cstdio>
 #include <bit>
 
+#include "bench_harness.h"
 #include "common/rng.h"
 #include "falcon/falcon.h"
 #include "sca/capture.h"
@@ -34,23 +35,31 @@ const char* region_of(fpr::LeakageTag tag) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness("fig3_trace", argc, argv);
   std::printf("== Fig. 3: annotated trace of one FFT(c).FFT(f) multiplication ==\n");
   std::printf("victim: FALCON-512 reference signing flow, simulated EM probe\n\n");
 
   ChaCha20Prng rng("fig3 victim key");
+  bench::WallTimer timer;
   const auto kp = falcon::keygen(9, rng);
+  harness.report("keygen", "logn=9", timer.ms());
 
   sca::EventWindowRecorder recorder(/*slot=*/0);
+  timer.reset();
   {
     fpr::ScopedLeakageSink scope(&recorder);
     (void)falcon::sign(kp.sk, "fig3 message", rng);
   }
+  harness.report("sign_capture", "logn=9", timer.ms());
 
   sca::DeviceConfig cfg;
   cfg.noise_sigma = 12.0;
   sca::EmDeviceModel device(cfg, 0xF163);
+  timer.reset();
   const auto trace = device.synthesize(recorder.events());
+  harness.report("synthesize_window", "logn=9 noise=12", timer.ms(),
+                 static_cast<double>(recorder.events().size()) / timer.s(), "events/s");
 
   std::printf("%-4s %-9s %-14s %4s %9s\n", "t", "region", "operation", "HW", "EM");
   for (std::size_t i = 0; i < recorder.events().size(); ++i) {

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "bench_harness.h"
 #include "bench_util.h"
 
 using namespace fd;
@@ -35,7 +36,10 @@ void print_corr_row(const char* label, double r, std::size_t traces, bool correc
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness("fig4_correlation", argc, argv);
+  char params[64];
+  std::snprintf(params, sizeof params, "traces=%zu noise=%.0f", kTraces, kNoise);
   std::printf("== Fig. 4 (a)-(d): CPA on coefficient 0x%016llX, %zu traces ==\n\n",
               static_cast<unsigned long long>(kPaperCoefficient), kTraces);
 
@@ -47,12 +51,16 @@ int main() {
 
   sca::DeviceConfig dev;
   dev.noise_sigma = kNoise;
+  bench::WallTimer timer;
   const auto set = synthetic_coefficient_campaign(secret, secret_im, kTraces, dev,
                                                   /*logn=*/9, /*seed=*/0xF164);
+  harness.report("campaign", params, timer.ms(),
+                 static_cast<double>(kTraces) / timer.s(), "traces/s");
   const auto ds = attack::build_component_dataset(set, false);
 
   // (a) sign.
   std::printf("(a) sign bit, sample = SIGN event:\n");
+  timer.reset();
   {
     attack::StreamingScan scan(ds.columns(sca::window::kOffSign));
     for (const unsigned g : {0U, 1U}) {
@@ -66,9 +74,11 @@ int main() {
     std::printf("  (wrong sign guess has r of equal magnitude and opposite direction --\n"
                 "   the paper's 'symmetric sign leakage'; the positive peak identifies it)\n");
   }
+  harness.report("cpa_sign", params, timer.ms());
 
   // (b) exponent.
   std::printf("\n(b) exponent, sample = EXP_SUM event (top 5 of the window):\n");
+  timer.reset();
   {
     attack::StreamingScan scan(ds.columns(sca::window::kOffExpSum));
     std::vector<std::uint32_t> guesses;
@@ -85,6 +95,7 @@ int main() {
       print_corr_row(label, s.score, kTraces, s.guess == secret.biased_exponent());
     }
   }
+  harness.report("cpa_exponent", params, timer.ms());
 
   // Candidates for the mantissa phases.
   std::vector<std::uint32_t> low_cands =
@@ -95,6 +106,7 @@ int main() {
   // (c) mantissa multiplication: extend phase (exact ties expected).
   std::printf("\n(c) mantissa (low 25 bits) MULTIPLICATION attack, top 5 of %s:\n",
               full ? "the full 2^25 space" : "the adversarial candidate set");
+  timer.reset();
   std::vector<attack::StreamingScan::Scored> extend_top;
   if (full) {
     // Exhaustive 2^25 enumeration: single view/column and a reduced
@@ -123,9 +135,11 @@ int main() {
   }
   std::printf("  (the top guesses tie EXACTLY: shifted mantissas produce identical\n"
               "   Hamming weights on the product -- the false positives of Sec. III.B)\n");
+  harness.report(full ? "cpa_mant_mul_full" : "cpa_mant_mul", params, timer.ms());
 
   // (d) mantissa addition: prune phase.
   std::printf("\n(d) mantissa ADDITION (prune) attack on the extend survivors:\n");
+  timer.reset();
   {
     attack::StreamingScan scan(ds.columns(sca::window::kOffAccZ1a));
     std::vector<std::uint32_t> survivors;
@@ -149,6 +163,7 @@ int main() {
       return 1;
     }
   }
+  harness.report("cpa_mant_add", params, timer.ms());
   if (!full) {
     std::printf("\n(rerun with FALCONDOWN_FULL=1 for the exhaustive 2^25 extend phase)\n");
   }

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 
+#include "bench_harness.h"
 #include "bench_util.h"
 
 using namespace fd;
@@ -42,7 +43,11 @@ void print_evolution(const char* title, const Evolution& evo, std::size_t correc
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness("fig4_evolution", argc, argv);
+  char params[64];
+  std::snprintf(params, sizeof params, "traces=%zu step=%zu noise=%.0f", kTraces, kStep,
+                kNoise);
   std::printf("== Fig. 4 (e)-(h): correlation vs. trace count, coefficient 0x%016llX ==\n\n",
               static_cast<unsigned long long>(kPaperCoefficient));
 
@@ -51,11 +56,15 @@ int main() {
 
   sca::DeviceConfig dev;
   dev.noise_sigma = kNoise;
+  bench::WallTimer timer;
   const auto set = synthetic_coefficient_campaign(secret, fpr::Fpr::from_double(-31337.75),
                                                   kTraces, dev, 9, 0xE7);
+  harness.report("campaign", params, timer.ms(),
+                 static_cast<double>(kTraces) / timer.s(), "traces/s");
   const auto ds = attack::build_component_dataset(set, false);
 
   // (e) sign: guesses {0 (correct is index secret.sign()), 1}.
+  timer.reset();
   {
     const auto evo = correlation_evolution(
         ds, sca::window::kOffSign, 2,
@@ -65,8 +74,10 @@ int main() {
         kStep);
     print_evolution("(e) sign bit", evo, secret.sign() ? 1 : 0, {"sign=0", "sign=1"});
   }
+  harness.report("evolution_sign", params, timer.ms());
 
   // (f) exponent: correct plus four nearby false guesses.
+  timer.reset();
   {
     const std::vector<std::uint32_t> guesses = {secret.biased_exponent(),
                                                 secret.biased_exponent() - 3,
@@ -82,8 +93,10 @@ int main() {
     print_evolution("(f) exponent", evo, 0,
                     {"correct", "exp-3", "exp-1", "exp+1", "exp+3"});
   }
+  harness.report("evolution_exponent", params, timer.ms());
 
   // (g) mantissa multiplication: correct, its shift (exact tie), randoms.
+  timer.reset();
   {
     const std::vector<std::uint32_t> guesses = {
         split.y0, (split.y0 << 1) & fpr::kMantLowMask, split.y0 ^ 0x5A5A5,
@@ -100,8 +113,10 @@ int main() {
     std::printf("  tie check at %zu traces: r(correct) - r(correct<<1) = %+.2e\n\n",
                 kTraces, evo.r[last][0] - evo.r[last][1]);
   }
+  harness.report("evolution_mant_mul", params, timer.ms());
 
   // (h) mantissa addition: the same guesses, now separable.
+  timer.reset();
   {
     const std::vector<std::uint32_t> guesses = {
         split.y0, (split.y0 << 1) & fpr::kMantLowMask, split.y0 ^ 0x5A5A5,
@@ -115,6 +130,7 @@ int main() {
     print_evolution("(h) mantissa addition (prune: the shift tie is broken)", evo, 0,
                     {"correct", "correct<<1", "xor-noise", "offset"});
   }
+  harness.report("evolution_mant_add", params, timer.ms());
 
   return 0;
 }

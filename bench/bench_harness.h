@@ -1,0 +1,107 @@
+#pragma once
+// Shared reporting harness for the bench_* executables.
+//
+// Every bench accepts `--json <path>` (stripped from argv before the
+// bench parses its positional arguments). When given, each call to
+// report() appends one flat JSON object to the file, in the telemetry
+// JSONL dialect the obs layer emits:
+//
+//   {"ev":"bench","bench":"tracestore","name":"stream_read",
+//    "params":"logn=5 traces=600","wall_ms":123.4,
+//    "throughput":812.5,"unit":"MiB/s"}
+//
+// so CI can diff benchmark runs without scraping the human output,
+// and fd-report/jq can consume bench results and campaign telemetry
+// from the same pipeline. Without --json, report() is print-free: the
+// benches keep their existing human-readable stdout.
+//
+// Wall times come from the caller (benches already time their phases);
+// WallTimer is provided for the common measure-this-scope case.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+#include "obs/jsonl.h"
+
+namespace fd::bench {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+  [[nodiscard]] double ms() const {
+    return std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+  [[nodiscard]] double s() const { return ms() / 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+class Harness {
+ public:
+  // Strips "--json <path>" from (argc, argv) in place so positional
+  // argument parsing downstream is unaffected by where the flag sits.
+  Harness(std::string_view bench_name, int& argc, char** argv) : bench_(bench_name) {
+    int w = 1;
+    for (int r = 1; r < argc; ++r) {
+      if (std::string_view(argv[r]) == "--json" && r + 1 < argc) {
+        path_ = argv[r + 1];
+        ++r;
+        continue;
+      }
+      argv[w++] = argv[r];
+    }
+    argc = w;
+    if (!path_.empty()) {
+      file_ = std::fopen(path_.c_str(), "wb");
+      if (file_ == nullptr) {
+        std::fprintf(stderr, "%s: cannot open --json file %s\n", bench_.c_str(),
+                     path_.c_str());
+      }
+    }
+  }
+  ~Harness() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+  Harness(const Harness&) = delete;
+  Harness& operator=(const Harness&) = delete;
+
+  [[nodiscard]] bool json_enabled() const { return file_ != nullptr; }
+
+  // One measurement. `throughput` <= 0 omits the throughput/unit pair
+  // (for benches that measure a count or a pure latency).
+  void report(std::string_view name, std::string_view params, double wall_ms,
+              double throughput = 0.0, std::string_view unit = "") {
+    if (file_ == nullptr) return;
+    namespace jsonl = fd::obs::jsonl;
+    const auto str = [](std::string_view s) { return "\"" + jsonl::escape(s) + "\""; };
+    std::string line = "{\"ev\":\"bench\",\"bench\":";
+    line += str(bench_);
+    line += ",\"name\":";
+    line += str(name);
+    line += ",\"params\":";
+    line += str(params);
+    line += ",\"wall_ms\":";
+    jsonl::append_number(line, wall_ms);
+    if (throughput > 0.0) {
+      line += ",\"throughput\":";
+      jsonl::append_number(line, throughput);
+      line += ",\"unit\":";
+      line += str(unit);
+    }
+    line += "}\n";
+    std::fwrite(line.data(), 1, line.size(), file_);
+    std::fflush(file_);
+  }
+
+ private:
+  std::string bench_;
+  std::string path_;
+  std::FILE* file_ = nullptr;
+};
+
+}  // namespace fd::bench

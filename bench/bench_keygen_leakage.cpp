@@ -13,23 +13,30 @@
 #include <bit>
 #include <cstdio>
 
+#include "bench_harness.h"
 #include "common/rng.h"
 #include "falcon/falcon.h"
 #include "sca/capture.h"
 
 using namespace fd;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness("keygen_leakage", argc, argv);
   std::printf("== Key-generation leakage surface (Sec. III.A remark) ==\n\n");
 
   for (const unsigned logn : {6U, 8U, 9U}) {
     ChaCha20Prng rng(0x6E1 + logn);
     sca::FullRecorder rec;
     falcon::KeyPair kp;
+    bench::WallTimer timer;
     {
       fpr::ScopedLeakageSink scope(&rec);
       kp = falcon::keygen(logn, rng);
     }
+    char params[32];
+    std::snprintf(params, sizeof params, "logn=%u", logn);
+    harness.report("keygen_capture", params, timer.ms(),
+                   static_cast<double>(rec.events().size()) / timer.s(), "events/s");
     std::size_t mul_events = 0;
     std::size_t add_events = 0;
     for (const auto& ev : rec.events()) {

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "bench_harness.h"
 #include "bench_util.h"
 #include "falcon/falcon.h"
 
@@ -34,7 +35,12 @@ std::size_t median(std::vector<std::size_t> v) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness("mtd", argc, argv);
+  char params[96];
+  std::snprintf(params, sizeof params, "coeffs=%d traces=%zu step=%zu noise=%.0f",
+                kCoefficients, kTraces, kStep, kNoise);
+  bench::WallTimer timer;
   std::printf("== Measurements-to-disclosure, FALCON-512 coefficients, noise sigma=%.0f ==\n\n",
               kNoise);
 
@@ -153,5 +159,8 @@ int main() {
               " classes never separate -- the key-recovery pipeline resolves them\n"
               " with the calibrated template + invFFT integrality instead, so these\n"
               " components still fall; see DESIGN.md 'exponent aliasing')\n");
+  harness.report("mtd_sweep", params, timer.ms(),
+                 static_cast<double>(kCoefficients) * static_cast<double>(kTraces) / timer.s(),
+                 "traces/s");
   return 0;
 }

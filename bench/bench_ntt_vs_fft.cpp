@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <bit>
 
+#include "bench_harness.h"
 #include "bench_util.h"
 #include "zq/zq.h"
 
@@ -58,10 +59,14 @@ NttTraceSet ntt_campaign(std::uint32_t secret, std::size_t num, double noise,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness("ntt_vs_fft", argc, argv);
+  char params[96];
+  std::snprintf(params, sizeof params, "traces=%zu noise=%.0f", kTraces, kNoise);
   std::printf("== NTT vs FFT leakage comparison (Section V.C), sigma = %.0f ==\n\n", kNoise);
 
   // ---- NTT side -----------------------------------------------------------
+  bench::WallTimer timer;
   const std::uint32_t ntt_secret = 6781;  // arbitrary coefficient in [0, q)
   const auto ntt = ntt_campaign(ntt_secret, kTraces, kNoise, 0x717A);
 
@@ -102,8 +107,11 @@ int main() {
   }
   std::printf("NTT pointwise modmul: secret coefficient disclosed after %zu traces\n",
               ntt_mtd);
+  harness.report("ntt_side", params, timer.ms(),
+                 static_cast<double>(kTraces) / timer.s(), "traces/s");
 
   // ---- FFT side -----------------------------------------------------------
+  timer.reset();
   const fpr::Fpr secret = fpr::Fpr::from_bits(kPaperCoefficient);
   const auto split = attack::KnownOperand::from(secret);
   sca::DeviceConfig dev;
@@ -150,5 +158,7 @@ int main() {
               "with far fewer (even single traces in [19]) -- the modular reduction's\n"
               "non-linearity separates wrong guesses faster. Shape reproduced iff the\n"
               "NTT MTD is substantially smaller.\n");
+  harness.report("fft_side", params, timer.ms(),
+                 static_cast<double>(kTraces) / timer.s(), "traces/s");
   return 0;
 }

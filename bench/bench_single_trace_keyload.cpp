@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <vector>
 
+#include "bench_harness.h"
 #include "common/rng.h"
 #include "falcon/falcon.h"
 #include "sca/capture.h"
@@ -40,7 +41,8 @@ std::vector<fpr::LeakageEvent> simulate_mul(std::int32_t v, fpr::Fpr root) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::Harness harness("single_trace_keyload", argc, argv);
   constexpr unsigned kLogn = 6;
   constexpr std::size_t kN = 1U << kLogn;
 
@@ -70,6 +72,7 @@ int main() {
   std::printf("%-12s %-22s %-14s\n", "noise sigma", "recovered coefficients",
               "of exposed n/2");
   for (const double sigma : {0.5, 1.0, 2.0, 4.0}) {
+    bench::WallTimer timer;
     // Victim: one key-load (basis re-expansion) under capture.
     sca::FullRecorder rec;
     {
@@ -128,6 +131,10 @@ int main() {
     }
     std::printf("%-12.1f %10zu / %-11zu %s\n", sigma, recovered, exposed,
                 recovered == exposed ? "(all, from ONE trace)" : "");
+    char params[48];
+    std::snprintf(params, sizeof params, "logn=%u sigma=%.1f", kLogn, sigma);
+    harness.report("keyload_recovery", params, timer.ms(),
+                   static_cast<double>(exposed) / timer.s(), "coeffs/s");
   }
 
   std::printf(

@@ -7,17 +7,22 @@
 #include <cstdio>
 
 #include "attack/template_attack.h"
+#include "bench_harness.h"
 #include "bench_util.h"
 #include "falcon/falcon.h"
 
 using namespace fd;
 using namespace fd::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  Harness harness("template_attack", argc, argv);
   std::printf("== Profiled template attack vs non-profiled CPA (Sec. V.A) ==\n\n");
 
   constexpr double kNoise = 11.0;
   constexpr std::size_t kMaxTraces = 12000;
+  char params[96];
+  std::snprintf(params, sizeof params, "max_traces=%zu noise=%.0f", kMaxTraces, kNoise);
+  WallTimer timer;
 
   // Profiling rig: clone device, several known coefficients (spreading
   // sign/exponent values so every template offset gets variance).
@@ -34,6 +39,8 @@ int main() {
     clone_dss.push_back(attack::build_component_dataset(clone_set, false));
   }
   const auto profile = attack::profile_device_multi(clone_dss, clone_secrets);
+  harness.report("profile_clone", params, timer.ms());
+  timer.reset();
   std::printf("profiled on a clone device: alpha=%.3f beta=%.3f sigma=%.3f (ProdLL)\n\n",
               profile.points[sca::window::kOffProdLL].alpha,
               profile.points[sca::window::kOffProdLL].beta,
@@ -81,5 +88,6 @@ int main() {
               " attack resolves the exponent EXACTLY -- no Pearson alias class to\n"
               " repair -- and matches or beats the unprofiled trace budget; both\n"
               " are gated by the prune phase of this coefficient's mantissa.)\n");
+  harness.report("budget_sweep", params, timer.ms());
   return 0;
 }

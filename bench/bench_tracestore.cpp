@@ -2,13 +2,14 @@
 // .fdtrace format, plus streamed-CPA (disk) vs in-memory CPA wall time
 // on the same seeded campaign -- the cost of capture-once/attack-many.
 //
-//   ./bench_tracestore [logn] [num_traces]
+//   ./bench_tracestore [logn] [num_traces] [--json <path>]
 
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
 #include "attack/streaming_cpa.h"
+#include "bench_harness.h"
 #include "bench_util.h"
 #include "common/rng.h"
 #include "falcon/falcon.h"
@@ -37,9 +38,12 @@ double file_mib(const char* path) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::Harness harness("tracestore", argc, argv);
   const unsigned logn = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 5;
   const std::size_t num_traces = argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 600;
   const char* path = "bench_tracestore.fdtrace";
+  char params[64];
+  std::snprintf(params, sizeof params, "logn=%u traces=%zu", logn, num_traces);
 
   ChaCha20Prng rng(0xA2C417);
   const auto kp = falcon::keygen(logn, rng);
@@ -63,6 +67,7 @@ int main(int argc, char** argv) {
   const double mib = file_mib(path);
   std::printf("capture+write  %8.3f s  (%zu records, %.1f MiB, %.1f MiB/s incl. signing)\n",
               capture_s, capture.records, mib, mib / capture_s);
+  harness.report("capture_write", params, capture_s * 1e3, mib / capture_s, "MiB/s");
 
   tracestore::ArchiveReader reader;
   if (!reader.open(path)) {
@@ -76,6 +81,7 @@ int main(int argc, char** argv) {
   const double read_s = seconds_since(t0);
   std::printf("stream read    %8.3f s  (%.1f MiB/s, max resident %zu records/chunk)\n",
               read_s, mib / read_s, reader.max_resident_records());
+  harness.report("stream_read", params, read_s * 1e3, mib / read_s, "MiB/s");
 
   t0 = Clock::now();
   {
@@ -88,6 +94,7 @@ int main(int argc, char** argv) {
   }
   const double write_s = seconds_since(t0);
   std::printf("pure write     %8.3f s  (%.1f MiB/s)\n", write_s, mib / write_s);
+  harness.report("pure_write", params, write_s * 1e3, mib / write_s, "MiB/s");
   all.clear();
   all.shrink_to_fit();
 
@@ -114,6 +121,10 @@ int main(int argc, char** argv) {
   std::printf("CPA streamed   %8.3f s  (archive already on disk)\n", cpa_stream_s);
   std::printf("CPA in-memory  %8.3f s  (+%.3f s to re-run the victim)\n", cpa_mem_s,
               recapture_s);
+  harness.report("cpa_streamed", params, cpa_stream_s * 1e3,
+                 static_cast<double>(streamed.num_traces()) / cpa_stream_s, "traces/s");
+  harness.report("cpa_inmemory", params, cpa_mem_s * 1e3,
+                 static_cast<double>(inmem.num_traces()) / cpa_mem_s, "traces/s");
   std::printf("rankings match %s  (top guess %u vs %u)\n",
               streamed.ranking() == inmem.ranking() ? "yes" : "NO",
               spec.guesses[streamed.ranking()[0]], spec.guesses[inmem.ranking()[0]]);

@@ -5,6 +5,9 @@
 #include <set>
 
 #include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
+#include "obs/span.h"
 
 namespace fd::attack {
 
@@ -100,6 +103,25 @@ PhaseOutcome run_scan(const ComponentDataset& ds, std::span<const std::size_t> o
   return out;
 }
 
+// One "ep.phase" event per pipeline stage: how many candidates went in,
+// how many survived the keep cut, and the winner. The kept/pruned split
+// also feeds the global attack.ep.* counters.
+void note_phase(const ComponentAttackConfig& config, std::string_view phase,
+                std::size_t candidates_in, const PhaseOutcome& out) {
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("attack.ep.candidates").add(candidates_in);
+  reg.counter("attack.ep.pruned").add(candidates_in - out.top.size());
+  if (obs::sink() == nullptr) return;
+  obs::event("ep.phase")
+      .with("label", config.obs_label)
+      .with("phase", phase)
+      .with("candidates_in", candidates_in)
+      .with("kept", out.top.size())
+      .with("value", out.value)
+      .with("score", out.score)
+      .emit();
+}
+
 }  // namespace
 
 LinearCalibration calibrate_device(const ComponentDataset& ds) {
@@ -154,6 +176,7 @@ PhaseOutcome attack_low_mul_only(const ComponentDataset& ds,
 
 ComponentResult attack_component(const ComponentDataset& ds,
                                  const ComponentAttackConfig& config) {
+  obs::Span span("attack.component");
   ComponentResult res;
 
   // 1. Sign: two guesses on the XOR event.
@@ -165,6 +188,7 @@ ComponentResult attack_component(const ComponentDataset& ds,
                                 return hyp_sign(g != 0, k);
                               });
     res.sign = res.sign_phase.value != 0;
+    note_phase(config, "sign", 2, res.sign_phase);
   }
 
   // 2. Exponent: enumeration of the plausible window on the
@@ -234,6 +258,7 @@ ComponentResult attack_component(const ComponentDataset& ds,
     res.exp_phase.top = std::move(ties);
     res.exp_phase.value = pick;
     res.exponent = pick;
+    note_phase(config, "exponent", guesses.size(), res.exp_phase);
   }
 
   // 3. Mantissa low half: extend on the partial products...
@@ -253,6 +278,7 @@ ComponentResult attack_component(const ComponentDataset& ds,
                  [](std::uint32_t g, const KnownOperand& k, std::size_t off) {
                    return off == ww::kOffProdLL ? hyp_low_mul_ll(g, k) : hyp_low_mul_lh(g, k);
                  });
+    note_phase(config, "low_extend", cands.size(), res.low_extend);
 
     // ...prune on the z1a addition over the surviving top-K.
     std::vector<std::uint32_t> survivors;
@@ -264,6 +290,7 @@ ComponentResult attack_component(const ComponentDataset& ds,
                                return hyp_low_add_z1a(g, k);
                              });
     res.x0 = res.low_prune.value;
+    note_phase(config, "low_prune", survivors.size(), res.low_prune);
   }
 
   // 4. Mantissa high half: same extend-and-prune with the recovered x0.
@@ -283,6 +310,7 @@ ComponentResult attack_component(const ComponentDataset& ds,
                  [](std::uint32_t g, const KnownOperand& k, std::size_t off) {
                    return off == ww::kOffProdHL ? hyp_high_mul_hl(g, k) : hyp_high_mul_hh(g, k);
                  });
+    note_phase(config, "high_extend", cands.size(), res.high_extend);
 
     std::vector<std::uint32_t> survivors;
     survivors.reserve(res.high_extend.top.size());
@@ -295,9 +323,18 @@ ComponentResult attack_component(const ComponentDataset& ds,
                                                             : hyp_high_add_z1b(g, x0, k);
                               });
     res.x1 = res.high_prune.value;
+    note_phase(config, "high_prune", survivors.size(), res.high_prune);
   }
 
   res.bits = assemble_bits(res.sign, res.exponent, res.x1, res.x0);
+  if (obs::sink() != nullptr) {
+    obs::event("ep.component")
+        .with("label", config.obs_label)
+        .with("traces", ds.num_traces)
+        .with("bits", res.bits)
+        .with("wall_us", span.elapsed_us())
+        .emit();
+  }
   return res;
 }
 

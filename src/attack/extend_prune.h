@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "attack/cpa.h"
@@ -84,6 +85,10 @@ struct ComponentAttackConfig {
   // selects the adaptive default max(1e-6, 4/sqrt(D)), which keeps every
   // statistical near-alias in the class at any noise level.
   double exp_tie_epsilon = -1.0;
+  // Telemetry tag for "ep.phase" events emitted while attacking this
+  // component (e.g. "slot3.im"). Purely observational: rankings and
+  // recovered values are identical with or without a sink installed.
+  std::string obs_label;
 };
 
 // Device gain/offset estimated by regressing samples of known-value

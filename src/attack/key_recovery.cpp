@@ -1,9 +1,11 @@
 #include "attack/key_recovery.h"
 
 #include <cmath>
+#include <string>
 
 #include "falcon/ntru_solve.h"
 #include "fft/fft.h"
+#include "obs/span.h"
 #include "zq/zq.h"
 
 namespace fd::attack {
@@ -16,14 +18,17 @@ std::optional<falcon::SecretKey> forge_key(std::span<const std::int32_t> f,
   const std::size_t n = pk.params.n;
 
   // g = h * f mod q; a correct f makes every centered coefficient small.
-  std::vector<std::uint32_t> fq(n);
-  for (std::size_t i = 0; i < n; ++i) fq[i] = zq::from_signed(f[i]);
-  const auto gq = zq::poly_mul(pk.h, fq, logn);
   std::vector<std::int32_t> g(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::int32_t c = zq::center(gq[i]);
-    if (std::abs(c) > 2048) return std::nullopt;  // f is wrong
-    g[i] = c;
+  {
+    obs::Span phase("key_recovery.derive_g");
+    std::vector<std::uint32_t> fq(n);
+    for (std::size_t i = 0; i < n; ++i) fq[i] = zq::from_signed(f[i]);
+    const auto gq = zq::poly_mul(pk.h, fq, logn);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::int32_t c = zq::center(gq[i]);
+      if (std::abs(c) > 2048) return std::nullopt;  // f is wrong
+      g[i] = c;
+    }
   }
 
   // Re-solve the NTRU equation for F, G -- the adversary runs the same
@@ -33,7 +38,11 @@ std::optional<falcon::SecretKey> forge_key(std::span<const std::int32_t> f,
     zf[i] = BigInt(f[i]);
     zg[i] = BigInt(g[i]);
   }
-  auto sol = falcon::ntru_solve(zf, zg, falcon::kQ);
+  std::optional<falcon::NtruSolution> sol;
+  {
+    obs::Span phase("key_recovery.ntru_solve");
+    sol = falcon::ntru_solve(zf, zg, falcon::kQ);
+  }
   if (!sol) return std::nullopt;
 
   falcon::SecretKey sk;
@@ -47,7 +56,10 @@ std::optional<falcon::SecretKey> forge_key(std::span<const std::int32_t> f,
     sk.big_f[i] = static_cast<std::int32_t>(sol->big_f[i].to_int64());
     sk.big_g[i] = static_cast<std::int32_t>(sol->big_g[i].to_int64());
   }
-  if (!falcon::expand_secret_key(sk)) return std::nullopt;
+  {
+    obs::Span phase("key_recovery.expand");
+    if (!falcon::expand_secret_key(sk)) return std::nullopt;
+  }
   return sk;
 }
 
@@ -71,7 +83,11 @@ RowComponents attack_row_components(const falcon::KeyPair& victim,
   camp.device = config.device;
   camp.seed = config.seed;
   camp.row = row;
-  const auto trace_sets = sca::run_full_campaign(victim.sk, camp);
+  std::vector<sca::TraceSet> trace_sets;
+  {
+    obs::Span phase("key_recovery.campaign");
+    trace_sets = sca::run_full_campaign(victim.sk, camp);
+  }
   const auto& secret_row = row == 0 ? victim.sk.b01 : victim.sk.b11;
 
   RowComponents rc;
@@ -85,6 +101,7 @@ RowComponents attack_row_components(const falcon::KeyPair& victim,
       const ComponentDataset ds = build_component_dataset(trace_sets[slot], imag);
       ComponentAttackConfig cac;
       cac.extend_top_k = config.extend_top_k;
+      cac.obs_label = "slot" + std::to_string(slot) + (imag ? ".im" : ".re");
       if (row == 1) {
         // FFT(F) components are larger than FFT(f)'s: shift the
         // exponent prior/window accordingly (|F_i| ~ a few hundred).
@@ -109,6 +126,7 @@ RowComponents attack_row_components(const falcon::KeyPair& victim,
 // descent first on the additive magnitude excess (wrong exponents blow
 // components up by 2^(+-k)), then on the integrality residual.
 void repair_row(RowComponents& rc, unsigned logn, double magnitude_limit) {
+  obs::Span phase("key_recovery.repair");
   const std::size_t n = std::size_t{1} << logn;
   auto& recovered = rc.recovered;
   auto& results = rc.results;
@@ -184,7 +202,10 @@ RowRecoveryResult recover_row_poly(const falcon::KeyPair& victim,
   for (std::size_t idx = 0; idx < n; ++idx) {
     out.components_correct += rc.recovered[idx].bits() == secret_row[idx].bits();
   }
-  fft::ifft(rc.recovered, logn);
+  {
+    obs::Span phase("key_recovery.invfft");
+    fft::ifft(rc.recovered, logn);
+  }
   out.poly.resize(n);
   for (std::size_t i = 0; i < n; ++i) {
     out.poly[i] = static_cast<std::int32_t>(-fpr::fpr_rint(rc.recovered[i]));
@@ -194,6 +215,7 @@ RowRecoveryResult recover_row_poly(const falcon::KeyPair& victim,
 }
 
 KeyRecoveryResult recover_key(const falcon::KeyPair& victim, const KeyRecoveryConfig& config) {
+  obs::Span span("key_recovery");
   KeyRecoveryResult out;
   out.components_total = victim.sk.params.n;
 

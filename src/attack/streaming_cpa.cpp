@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "obs/metrics.h"
+#include "obs/sink.h"
 #include "sca/device.h"
 
 namespace fd::attack {
@@ -40,15 +42,61 @@ class CpaFold {
       }
       engine_.add_trace(hyps_, samps_);
     }
+    ++windows_;
+    if (spec_.snapshot_every != 0 && windows_ % spec_.snapshot_every == 0) {
+      snapshot();
+      snapshot_emitted_ = true;
+    } else if (spec_.snapshot_every != 0) {
+      snapshot_emitted_ = false;
+    }
   }
 
-  [[nodiscard]] CpaEngine take() { return std::move(engine_); }
+  [[nodiscard]] CpaEngine take() {
+    // Final snapshot so the end state is always on record, even when
+    // the trace count is not a multiple of the cadence.
+    if (spec_.snapshot_every != 0 && !snapshot_emitted_ && windows_ > 0) snapshot();
+    obs::MetricsRegistry::global().counter("attack.cpa.windows").add(windows_);
+    return std::move(engine_);
+  }
 
  private:
+  // Reads the accumulator (never mutates it) and emits one
+  // "cpa.snapshot" event: the guess-rank state after `windows_` traces.
+  void snapshot() const {
+    if (obs::sink() == nullptr) return;
+    const std::vector<std::size_t> order = engine_.ranking();
+    const double top1_r = engine_.peak(order[0]);
+    const double top2_r = order.size() > 1 ? engine_.peak(order[1]) : top1_r;
+    std::int64_t truth_rank = -1;
+    double truth_r = 0.0;
+    if (spec_.truth_guess >= 0) {
+      for (std::size_t pos = 0; pos < order.size(); ++pos) {
+        if (spec_.guesses[order[pos]] == static_cast<std::uint32_t>(spec_.truth_guess)) {
+          truth_rank = static_cast<std::int64_t>(pos);
+          truth_r = engine_.peak(order[pos]);
+          break;
+        }
+      }
+    }
+    obs::event("cpa.snapshot")
+        .with("label", spec_.label)
+        .with("traces", windows_)
+        .with("guesses", spec_.guesses.size())
+        .with("top1_guess", spec_.guesses[order[0]])
+        .with("top1_r", top1_r)
+        .with("top2_r", top2_r)
+        .with("margin", top1_r - top2_r)
+        .with("truth_rank", truth_rank)
+        .with("truth_r", truth_r)
+        .emit();
+  }
+
   const StreamingCpaSpec& spec_;
   CpaEngine engine_;
   std::vector<double> hyps_;
   std::vector<float> samps_;
+  std::size_t windows_ = 0;
+  bool snapshot_emitted_ = false;
 };
 
 }  // namespace

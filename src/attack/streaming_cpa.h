@@ -41,6 +41,21 @@ struct StreamingCpaSpec {
   // model(guess, known operand) -> predicted Hamming-weight leakage.
   std::function<double(std::uint32_t, const KnownOperand&)> model;
   std::size_t max_traces = 0;  // 0 = every trace in the archive
+
+  // --- telemetry (no effect on the accumulated statistics) ---------------
+  //
+  // When `snapshot_every` > 0 and a telemetry sink is installed
+  // (obs::set_sink), a "cpa.snapshot" event is emitted after every that
+  // many windows folded, and once more at the end of the pass: current
+  // trace count, top-1 guess and peak correlation, top-1/top-2 margin,
+  // and -- if `truth_guess` names a member of `guesses` -- the rank and
+  // peak of the true value. A file of these snapshots is enough to
+  // reconstruct the paper's Fig. 4 e-h convergence curves offline
+  // (fd-report renders them). Both the streamed and in-memory paths
+  // emit identical snapshot streams, since they share the fold.
+  std::size_t snapshot_every = 0;
+  std::int64_t truth_guess = -1;  // guess *value* to track, -1 = none
+  std::string label;              // event tag, e.g. "slot3.im"
 };
 
 // Streams the archive once (rewinding first) and returns the filled

@@ -1,0 +1,51 @@
+#include "obs/event.h"
+
+#include "obs/jsonl.h"
+
+namespace fd::obs {
+
+double FieldValue::as_double() const {
+  switch (kind) {
+    case Kind::kUint: return static_cast<double>(u);
+    case Kind::kInt: return static_cast<double>(i);
+    case Kind::kDouble: return d;
+    case Kind::kBool: return b ? 1.0 : 0.0;
+    case Kind::kString: return 0.0;
+  }
+  return 0.0;
+}
+
+const FieldValue* Event::find(std::string_view key) const {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string to_jsonl(const Event& ev) {
+  std::string out;
+  out.reserve(64 + 24 * ev.fields.size());
+  out += "{\"ev\":\"";
+  out += jsonl::escape(ev.name);
+  out += '"';
+  for (const auto& [key, v] : ev.fields) {
+    out += ",\"";
+    out += jsonl::escape(key);
+    out += "\":";
+    switch (v.kind) {
+      case FieldValue::Kind::kUint: out += std::to_string(v.u); break;
+      case FieldValue::Kind::kInt: out += std::to_string(v.i); break;
+      case FieldValue::Kind::kDouble: jsonl::append_number(out, v.d); break;
+      case FieldValue::Kind::kBool: out += v.b ? "true" : "false"; break;
+      case FieldValue::Kind::kString:
+        out += '"';
+        out += jsonl::escape(v.s);
+        out += '"';
+        break;
+    }
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace fd::obs

@@ -1,0 +1,76 @@
+#pragma once
+// Telemetry event model: a named record with a flat, ordered list of
+// typed fields. Events are the unit every TelemetrySink consumes and
+// the unit fd-report parses back out of a JSONL file.
+//
+// This header is compiled in both FD_OBS modes: the Event type itself
+// is plain data used by offline tooling (sinks, fd-report, tests); only
+// the *recording* APIs (sink.h, metrics.h, span.h) become no-ops when
+// the layer is disabled.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fd::obs {
+
+struct FieldValue {
+  enum class Kind { kUint, kInt, kDouble, kBool, kString };
+  Kind kind = Kind::kUint;
+  std::uint64_t u = 0;
+  std::int64_t i = 0;
+  double d = 0.0;
+  bool b = false;
+  std::string s;
+
+  [[nodiscard]] static FieldValue of(std::uint64_t v) {
+    FieldValue f;
+    f.kind = Kind::kUint;
+    f.u = v;
+    return f;
+  }
+  [[nodiscard]] static FieldValue of(std::int64_t v) {
+    FieldValue f;
+    f.kind = Kind::kInt;
+    f.i = v;
+    return f;
+  }
+  [[nodiscard]] static FieldValue of(double v) {
+    FieldValue f;
+    f.kind = Kind::kDouble;
+    f.d = v;
+    return f;
+  }
+  [[nodiscard]] static FieldValue of(bool v) {
+    FieldValue f;
+    f.kind = Kind::kBool;
+    f.b = v;
+    return f;
+  }
+  [[nodiscard]] static FieldValue of(std::string_view v) {
+    FieldValue f;
+    f.kind = Kind::kString;
+    f.s = v;
+    return f;
+  }
+
+  // Numeric view regardless of kind (strings read as 0).
+  [[nodiscard]] double as_double() const;
+};
+
+struct Event {
+  std::string name;
+  std::vector<std::pair<std::string, FieldValue>> fields;
+
+  void add(std::string_view key, FieldValue v) { fields.emplace_back(key, std::move(v)); }
+  [[nodiscard]] const FieldValue* find(std::string_view key) const;
+};
+
+// One line of JSON, no trailing newline. Field order is insertion
+// order; the event name is the leading "ev" key, so lines are stable
+// and diffable across identical runs.
+[[nodiscard]] std::string to_jsonl(const Event& ev);
+
+}  // namespace fd::obs

@@ -1,0 +1,202 @@
+#include "obs/jsonl.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace fd::obs::jsonl {
+
+const Value* Object::find(std::string_view key) const {
+  for (const auto& [k, v] : fields) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double Object::num(std::string_view key, double dflt) const {
+  const Value* v = find(key);
+  if (v == nullptr) return dflt;
+  if (v->kind == Value::Kind::kNumber) return v->num;
+  if (v->kind == Value::Kind::kBool) return v->b ? 1.0 : 0.0;
+  return dflt;
+}
+
+std::string_view Object::str(std::string_view key, std::string_view dflt) const {
+  const Value* v = find(key);
+  return (v != nullptr && v->kind == Value::Kind::kString) ? std::string_view(v->str) : dflt;
+}
+
+std::string escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void append_number(std::string& out, double v) {
+  char buf[32];
+  if (std::isfinite(v) && v == std::floor(v) && std::fabs(v) < 9007199254740992.0) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+  } else if (std::isfinite(v)) {
+    std::snprintf(buf, sizeof buf, "%.17g", v);
+  } else {
+    // JSON has no inf/nan; emit null so the line stays parseable.
+    std::snprintf(buf, sizeof buf, "null");
+  }
+  out += buf;
+}
+
+namespace {
+
+struct Cursor {
+  std::string_view s;
+  std::size_t pos = 0;
+  std::string* err;
+
+  [[nodiscard]] bool fail(const char* why) {
+    if (err != nullptr) *err = std::string(why) + " at offset " + std::to_string(pos);
+    return false;
+  }
+  void skip_ws() {
+    while (pos < s.size() && std::isspace(static_cast<unsigned char>(s[pos])) != 0) ++pos;
+  }
+  [[nodiscard]] bool eat(char c) {
+    skip_ws();
+    if (pos < s.size() && s[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  [[nodiscard]] char peek() {
+    skip_ws();
+    return pos < s.size() ? s[pos] : '\0';
+  }
+};
+
+bool parse_string(Cursor& c, std::string& out) {
+  if (!c.eat('"')) return c.fail("expected '\"'");
+  out.clear();
+  while (c.pos < c.s.size()) {
+    const char ch = c.s[c.pos++];
+    if (ch == '"') return true;
+    if (ch != '\\') {
+      out += ch;
+      continue;
+    }
+    if (c.pos >= c.s.size()) break;
+    const char esc = c.s[c.pos++];
+    switch (esc) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'n': out += '\n'; break;
+      case 'r': out += '\r'; break;
+      case 't': out += '\t'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u': {
+        if (c.pos + 4 > c.s.size()) return c.fail("short \\u escape");
+        const std::string hex(c.s.substr(c.pos, 4));
+        c.pos += 4;
+        const long cp = std::strtol(hex.c_str(), nullptr, 16);
+        // Telemetry only escapes control characters, so a plain
+        // narrowing append covers everything our own writer emits.
+        out += static_cast<char>(cp);
+        break;
+      }
+      default: return c.fail("unknown escape");
+    }
+  }
+  return c.fail("unterminated string");
+}
+
+bool parse_value(Cursor& c, Value& out, int depth);
+
+bool parse_array(Cursor& c, Value& out, int depth) {
+  out.kind = Value::Kind::kArray;
+  out.items.clear();
+  if (!c.eat('[')) return c.fail("expected '['");
+  if (c.eat(']')) return true;
+  for (;;) {
+    Value item;
+    if (!parse_value(c, item, depth + 1)) return false;
+    out.items.push_back(std::move(item));
+    if (c.eat(']')) return true;
+    if (!c.eat(',')) return c.fail("expected ',' or ']'");
+  }
+}
+
+bool parse_value(Cursor& c, Value& out, int depth) {
+  if (depth > 2) return c.fail("nesting too deep for flat telemetry");
+  const char ch = c.peek();
+  if (ch == '"') {
+    out.kind = Value::Kind::kString;
+    return parse_string(c, out.str);
+  }
+  if (ch == '[') return parse_array(c, out, depth);
+  if (ch == '{') return c.fail("nested objects are not part of the telemetry format");
+  if (ch == 't' || ch == 'f') {
+    const std::string_view want = ch == 't' ? "true" : "false";
+    if (c.s.substr(c.pos, want.size()) != want) return c.fail("bad literal");
+    c.pos += want.size();
+    out.kind = Value::Kind::kBool;
+    out.b = ch == 't';
+    return true;
+  }
+  if (ch == 'n') {
+    if (c.s.substr(c.pos, 4) != "null") return c.fail("bad literal");
+    c.pos += 4;
+    out.kind = Value::Kind::kNull;
+    return true;
+  }
+  // Number.
+  const char* begin = c.s.data() + c.pos;
+  char* end = nullptr;
+  out.num = std::strtod(begin, &end);
+  if (end == begin) return c.fail("expected a value");
+  c.pos += static_cast<std::size_t>(end - begin);
+  out.kind = Value::Kind::kNumber;
+  return true;
+}
+
+}  // namespace
+
+bool parse_object(std::string_view line, Object& out, std::string* err) {
+  out.fields.clear();
+  Cursor c{line, 0, err};
+  if (!c.eat('{')) return c.fail("expected '{'");
+  if (c.eat('}')) return true;
+  for (;;) {
+    std::string key;
+    if (!parse_string(c, key)) return false;
+    if (!c.eat(':')) return c.fail("expected ':'");
+    Value v;
+    if (!parse_value(c, v, 0)) return false;
+    out.fields.emplace_back(std::move(key), std::move(v));
+    if (c.eat('}')) {
+      c.skip_ws();
+      return c.pos == line.size() || c.fail("trailing garbage");
+    }
+    if (!c.eat(',')) return c.fail("expected ',' or '}'");
+  }
+}
+
+}  // namespace fd::obs::jsonl

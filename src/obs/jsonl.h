@@ -1,0 +1,53 @@
+#pragma once
+// Minimal flat-JSON reader/writer helpers for the telemetry pipeline.
+//
+// The sinks emit one flat JSON object per line (strings, numbers,
+// booleans, null, and arrays of those); fd-report and the tests parse
+// those lines back. This is deliberately not a general JSON library:
+// nested objects are rejected, which keeps the parser small and the
+// emitted format honest.
+//
+// Always compiled, independent of FD_OBS: offline tools must read
+// telemetry produced by instrumented builds even when they themselves
+// were built with the layer disabled.
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace fd::obs::jsonl {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  double num = 0.0;
+  std::string str;
+  std::vector<Value> items;  // kArray only
+};
+
+// Insertion-ordered flat object, mirroring one emitted JSONL line.
+struct Object {
+  std::vector<std::pair<std::string, Value>> fields;
+
+  [[nodiscard]] const Value* find(std::string_view key) const;
+  [[nodiscard]] bool has(std::string_view key) const { return find(key) != nullptr; }
+  // Typed lookups with defaults (missing key or wrong kind -> default).
+  [[nodiscard]] double num(std::string_view key, double dflt = 0.0) const;
+  [[nodiscard]] std::string_view str(std::string_view key, std::string_view dflt = "") const;
+};
+
+// Parses one `{...}` line. Returns false (with a reason in *err, if
+// given) on malformed input or nested objects.
+[[nodiscard]] bool parse_object(std::string_view line, Object& out, std::string* err = nullptr);
+
+// JSON string escaping (quotes, backslash, control characters).
+[[nodiscard]] std::string escape(std::string_view s);
+
+// Canonical number rendering: integral values within 2^53 print
+// without a decimal point, everything else as shortest round-trip-ish
+// "%.17g". Keeps identical runs byte-identical.
+void append_number(std::string& out, double v);
+
+}  // namespace fd::obs::jsonl

@@ -1,0 +1,158 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/event.h"
+#include "obs/sink.h"
+
+namespace fd::obs {
+
+std::size_t histogram_bucket_index(double v) {
+  if (!(v >= 1.0)) return 0;  // negatives and NaN land in bucket 0
+  // ilogb is exact at power-of-two boundaries, unlike floor(log2(v)).
+  const std::size_t idx = 1 + static_cast<std::size_t>(std::ilogb(v));
+  return std::min(idx, kHistogramBuckets - 1);
+}
+
+double histogram_bucket_lower_bound(std::size_t bucket) {
+  if (bucket == 0) return 0.0;
+  return std::ldexp(1.0, static_cast<int>(bucket) - 1);
+}
+
+#if FD_OBS_ENABLED
+
+void Histogram::record(double v) {
+  const std::size_t idx = histogram_bucket_index(v);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (count_ == 0) {
+    min_ = v;
+    max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
+  ++count_;
+  sum_ += v;
+  ++buckets_[idx];
+}
+
+std::uint64_t Histogram::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+double Histogram::sum() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sum_;
+}
+double Histogram::min() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return min_;
+}
+double Histogram::max() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_;
+}
+std::uint64_t Histogram::bucket_count(std::size_t bucket) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bucket < kHistogramBuckets ? buckets_[bucket] : 0;
+}
+void Histogram::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  count_ = 0;
+  sum_ = min_ = max_ = 0.0;
+  buckets_.fill(0);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry r;
+  return r;
+}
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>()).first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>()).first;
+  }
+  return *it->second;
+}
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  RegistrySnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) snap.counters.push_back({name, c->value()});
+  for (const auto& [name, g] : gauges_) snap.gauges.push_back({name, g->value()});
+  for (const auto& [name, h] : histograms_) {
+    HistogramView view;
+    view.name = name;
+    view.count = h->count();
+    view.sum = h->sum();
+    view.min = h->min();
+    view.max = h->max();
+    for (std::size_t i = 0; i < kHistogramBuckets; ++i) view.buckets[i] = h->bucket_count(i);
+    snap.histograms.push_back(std::move(view));
+  }
+  return snap;
+}
+
+void MetricsRegistry::export_to(TelemetrySink& out) const {
+  const RegistrySnapshot snap = snapshot();
+  for (const auto& c : snap.counters) {
+    Event ev;
+    ev.name = "metric";
+    ev.add("kind", FieldValue::of(std::string_view("counter")));
+    ev.add("name", FieldValue::of(std::string_view(c.name)));
+    ev.add("value", FieldValue::of(c.value));
+    out.record(ev);
+  }
+  for (const auto& g : snap.gauges) {
+    Event ev;
+    ev.name = "metric";
+    ev.add("kind", FieldValue::of(std::string_view("gauge")));
+    ev.add("name", FieldValue::of(std::string_view(g.name)));
+    ev.add("value", FieldValue::of(g.value));
+    out.record(ev);
+  }
+  for (const auto& h : snap.histograms) {
+    Event ev;
+    ev.name = "metric";
+    ev.add("kind", FieldValue::of(std::string_view("histogram")));
+    ev.add("name", FieldValue::of(std::string_view(h.name)));
+    ev.add("count", FieldValue::of(h.count));
+    ev.add("sum", FieldValue::of(h.sum));
+    ev.add("min", FieldValue::of(h.min));
+    ev.add("max", FieldValue::of(h.max));
+    ev.add("mean", FieldValue::of(h.mean()));
+    out.record(ev);
+  }
+}
+
+void MetricsRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+#endif  // FD_OBS_ENABLED
+
+}  // namespace fd::obs

@@ -1,0 +1,173 @@
+#pragma once
+// Process-wide metrics: named counters, gauges, and histograms with
+// fixed log-scale buckets, owned by a MetricsRegistry with stable
+// addresses (a metric reference, once obtained, lives for the process).
+//
+// When FD_OBS_ENABLED is 0 the whole surface compiles to inline no-ops
+// on shared dummy objects: call sites keep type-checking, the optimizer
+// deletes them, and instrumented code costs nothing in bare builds.
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#if FD_OBS_ENABLED
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#endif
+
+namespace fd::obs {
+
+class TelemetrySink;
+
+// Log-scale bucket geometry shared by every histogram: bucket 0 holds
+// [0, 1), bucket i >= 1 holds [2^(i-1), 2^i), the last bucket is
+// open-ended. Values are unitless; the convention in this repo is
+// microseconds for timers and raw counts elsewhere, with the unit
+// spelled in the metric name ("...us", "...bytes").
+inline constexpr std::size_t kHistogramBuckets = 64;
+[[nodiscard]] std::size_t histogram_bucket_index(double v);
+[[nodiscard]] double histogram_bucket_lower_bound(std::size_t bucket);
+
+struct CounterView {
+  std::string name;
+  std::uint64_t value = 0;
+};
+struct GaugeView {
+  std::string name;
+  double value = 0.0;
+};
+struct HistogramView {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+  [[nodiscard]] double mean() const { return count == 0 ? 0.0 : sum / static_cast<double>(count); }
+};
+struct RegistrySnapshot {
+  std::vector<CounterView> counters;
+  std::vector<GaugeView> gauges;
+  std::vector<HistogramView> histograms;
+};
+
+#if FD_OBS_ENABLED
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const { return v_.load(std::memory_order_relaxed); }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+class Histogram {
+ public:
+  void record(double v);
+  [[nodiscard]] std::uint64_t count() const;
+  [[nodiscard]] double sum() const;
+  [[nodiscard]] double min() const;  // 0 when empty
+  [[nodiscard]] double max() const;
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t bucket) const;
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets_{};
+};
+
+class MetricsRegistry {
+ public:
+  [[nodiscard]] static MetricsRegistry& global();
+
+  // Lookup-or-create; the returned reference is stable forever. Hot
+  // paths should hoist it out of loops (the lookup takes a lock).
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  // Name-sorted copy of every metric (export + tests).
+  [[nodiscard]] RegistrySnapshot snapshot() const;
+  // Emits one "metric" event per metric to the sink (summary stats for
+  // histograms, not raw buckets).
+  void export_to(TelemetrySink& sink) const;
+  // Zeroes every metric; registrations (and references) survive.
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+#else  // FD_OBS_ENABLED == 0: same API, empty bodies, shared dummies.
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) {}
+  [[nodiscard]] std::uint64_t value() const { return 0; }
+  void reset() {}
+};
+
+class Gauge {
+ public:
+  void set(double) {}
+  [[nodiscard]] double value() const { return 0.0; }
+  void reset() {}
+};
+
+class Histogram {
+ public:
+  void record(double) {}
+  [[nodiscard]] std::uint64_t count() const { return 0; }
+  [[nodiscard]] double sum() const { return 0.0; }
+  [[nodiscard]] double min() const { return 0.0; }
+  [[nodiscard]] double max() const { return 0.0; }
+  [[nodiscard]] std::uint64_t bucket_count(std::size_t) const { return 0; }
+  void reset() {}
+};
+
+class MetricsRegistry {
+ public:
+  [[nodiscard]] static MetricsRegistry& global() {
+    static MetricsRegistry r;
+    return r;
+  }
+  [[nodiscard]] Counter& counter(std::string_view) { return counter_; }
+  [[nodiscard]] Gauge& gauge(std::string_view) { return gauge_; }
+  [[nodiscard]] Histogram& histogram(std::string_view) { return histogram_; }
+  [[nodiscard]] RegistrySnapshot snapshot() const { return {}; }
+  void export_to(TelemetrySink&) const {}
+  void reset() {}
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+#endif  // FD_OBS_ENABLED
+
+}  // namespace fd::obs

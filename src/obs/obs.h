@@ -1,0 +1,15 @@
+#pragma once
+// Umbrella header for the observability layer: metrics registry,
+// spans/timers, telemetry sinks, and the JSONL event format. See
+// DESIGN.md section 8 for the architecture and the overhead budget.
+//
+// Everything here is zero-overhead in two senses: with no sink
+// installed, event emission is one atomic pointer load; with
+// FD_OBS=OFF at configure time, every recording call compiles to an
+// empty inline function.
+
+#include "obs/event.h"    // IWYU pragma: export
+#include "obs/jsonl.h"    // IWYU pragma: export
+#include "obs/metrics.h"  // IWYU pragma: export
+#include "obs/sink.h"     // IWYU pragma: export
+#include "obs/span.h"     // IWYU pragma: export

@@ -1,0 +1,72 @@
+#include "obs/sink.h"
+
+#include "obs/jsonl.h"
+
+#if FD_OBS_ENABLED
+#include <atomic>
+#endif
+
+namespace fd::obs {
+
+JsonLinesSink::JsonLinesSink(const std::string& path, bool append) {
+  file_ = std::fopen(path.c_str(), append ? "ab" : "wb");
+  if (file_ == nullptr) error_ = "cannot open '" + path + "' for writing";
+}
+
+JsonLinesSink::~JsonLinesSink() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonLinesSink::record(const Event& ev) {
+  const std::string line = to_jsonl(ev);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return;
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+}
+
+void JsonLinesSink::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (file_ != nullptr) std::fflush(file_);
+}
+
+void ConsoleSink::record(const Event& ev) {
+  std::string line = "[" + ev.name + "]";
+  for (const auto& [key, v] : ev.fields) {
+    line += ' ';
+    line += key;
+    line += '=';
+    switch (v.kind) {
+      case FieldValue::Kind::kUint: line += std::to_string(v.u); break;
+      case FieldValue::Kind::kInt: line += std::to_string(v.i); break;
+      case FieldValue::Kind::kDouble: jsonl::append_number(line, v.d); break;
+      case FieldValue::Kind::kBool: line += v.b ? "true" : "false"; break;
+      case FieldValue::Kind::kString: line += v.s; break;
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fprintf(out_, "%s\n", line.c_str());
+}
+
+void ConsoleSink::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fflush(out_);
+}
+
+void CollectingSink::record(const Event& ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(ev);
+}
+
+#if FD_OBS_ENABLED
+
+namespace {
+std::atomic<TelemetrySink*> g_sink{nullptr};
+}  // namespace
+
+TelemetrySink* sink() { return g_sink.load(std::memory_order_acquire); }
+void set_sink(TelemetrySink* s) { g_sink.store(s, std::memory_order_release); }
+
+#endif  // FD_OBS_ENABLED
+
+}  // namespace fd::obs

@@ -1,0 +1,166 @@
+#pragma once
+// Telemetry sinks and the event-recording front end.
+//
+// A TelemetrySink consumes finished Events. Instrumented code never
+// talks to a sink directly; it goes through the free function
+// `obs::event("name").with(...).emit()`, which is a no-op unless a
+// process-global sink is installed (RAII, mirroring the
+// fpr::ScopedLeakageSink idiom of the capture rig) -- and compiles away
+// entirely when FD_OBS_ENABLED is 0.
+//
+// Determinism convention: fields whose keys end in "_us", "_ms", or
+// "_per_s" carry wall-clock-derived values and are the only
+// nondeterministic content an instrumented fixed-seed run emits. Tests
+// comparing telemetry streams filter exactly those keys.
+
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "obs/event.h"
+
+#include <mutex>
+
+namespace fd::obs {
+
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+  virtual void record(const Event& ev) = 0;
+  virtual void flush() {}
+};
+
+// One JSON object per line. Thread-safe; lines are written atomically.
+class JsonLinesSink final : public TelemetrySink {
+ public:
+  explicit JsonLinesSink(const std::string& path, bool append = false);
+  ~JsonLinesSink() override;
+  JsonLinesSink(const JsonLinesSink&) = delete;
+  JsonLinesSink& operator=(const JsonLinesSink&) = delete;
+
+  [[nodiscard]] bool ok() const { return file_ != nullptr; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  void record(const Event& ev) override;
+  void flush() override;
+
+ private:
+  std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  std::string error_;
+};
+
+// Human-readable one-liners ("[name] key=value ...") for watching a
+// campaign converge live; defaults to stderr.
+class ConsoleSink final : public TelemetrySink {
+ public:
+  explicit ConsoleSink(std::FILE* out = stderr) : out_(out) {}
+  void record(const Event& ev) override;
+  void flush() override;
+
+ private:
+  std::mutex mu_;
+  std::FILE* out_;
+};
+
+// In-memory capture for tests and for fd-report-style post-processing.
+class CollectingSink final : public TelemetrySink {
+ public:
+  void record(const Event& ev) override;
+  [[nodiscard]] const std::vector<Event>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+ private:
+  std::mutex mu_;
+  std::vector<Event> events_;
+};
+
+#if FD_OBS_ENABLED
+
+// Process-global sink hook. Null (the default) disables all recording.
+[[nodiscard]] TelemetrySink* sink();
+void set_sink(TelemetrySink* s);
+
+// RAII installation; restores the previous sink on scope exit.
+class ScopedTelemetrySink {
+ public:
+  explicit ScopedTelemetrySink(TelemetrySink* s) : prev_(sink()) { set_sink(s); }
+  ~ScopedTelemetrySink() { set_sink(prev_); }
+  ScopedTelemetrySink(const ScopedTelemetrySink&) = delete;
+  ScopedTelemetrySink& operator=(const ScopedTelemetrySink&) = delete;
+
+ private:
+  TelemetrySink* prev_;
+};
+
+// Fluent event construction. All work is skipped when no sink is
+// installed, so `obs::event(...).with(...).emit()` in a hot path costs
+// one pointer load in the common (uninstrumented) case.
+class EventBuilder {
+ public:
+  explicit EventBuilder(std::string_view name) : active_(sink() != nullptr) {
+    if (active_) ev_.name = name;
+  }
+  EventBuilder& with(std::string_view key, double v) {
+    if (active_) ev_.add(key, FieldValue::of(v));
+    return *this;
+  }
+  EventBuilder& with(std::string_view key, bool v) {
+    if (active_) ev_.add(key, FieldValue::of(v));
+    return *this;
+  }
+  EventBuilder& with(std::string_view key, std::string_view v) {
+    if (active_) ev_.add(key, FieldValue::of(v));
+    return *this;
+  }
+  EventBuilder& with(std::string_view key, const char* v) {
+    return with(key, std::string_view(v));
+  }
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  EventBuilder& with(std::string_view key, T v) {
+    if (active_) {
+      if constexpr (std::is_signed_v<T>) {
+        ev_.add(key, FieldValue::of(static_cast<std::int64_t>(v)));
+      } else {
+        ev_.add(key, FieldValue::of(static_cast<std::uint64_t>(v)));
+      }
+    }
+    return *this;
+  }
+  void emit() {
+    if (active_ && sink() != nullptr) sink()->record(ev_);
+  }
+
+ private:
+  bool active_;
+  Event ev_;
+};
+
+#else  // FD_OBS_ENABLED == 0
+
+inline constexpr TelemetrySink* kNoSink = nullptr;
+[[nodiscard]] inline TelemetrySink* sink() { return kNoSink; }
+inline void set_sink(TelemetrySink*) {}
+
+class ScopedTelemetrySink {
+ public:
+  explicit ScopedTelemetrySink(TelemetrySink*) {}
+};
+
+class EventBuilder {
+ public:
+  explicit EventBuilder(std::string_view) {}
+  template <typename T>
+  EventBuilder& with(std::string_view, const T&) {
+    return *this;
+  }
+  void emit() {}
+};
+
+#endif  // FD_OBS_ENABLED
+
+[[nodiscard]] inline EventBuilder event(std::string_view name) { return EventBuilder(name); }
+
+}  // namespace fd::obs

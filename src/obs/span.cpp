@@ -1,0 +1,53 @@
+#include "obs/span.h"
+
+#if FD_OBS_ENABLED
+
+#include <vector>
+
+#include "obs/sink.h"
+
+namespace fd::obs {
+
+namespace {
+
+std::vector<const Span*>& span_stack() {
+  thread_local std::vector<const Span*> stack;
+  return stack;
+}
+
+}  // namespace
+
+Span::Span(std::string_view name) : name_(name), start_(std::chrono::steady_clock::now()) {
+  span_stack().push_back(this);
+}
+
+Span::~Span() {
+  auto& stack = span_stack();
+  // Normal destruction pops this span; if intermediate frames were
+  // skipped (shouldn't happen with strict RAII, but be unwinding-proof),
+  // pop down to and including self.
+  while (!stack.empty() && stack.back() != this) stack.pop_back();
+  if (!stack.empty()) stack.pop_back();
+
+  const double us = elapsed_us();
+  MetricsRegistry::global().histogram("span." + name_ + ".us").record(us);
+  if (sink() != nullptr) {
+    event("span").with("name", name_).with("depth", stack.size()).with("wall_us", us).emit();
+  }
+}
+
+double Span::elapsed_us() const {
+  return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start_)
+      .count();
+}
+
+std::size_t Span::depth() { return span_stack().size(); }
+
+std::string_view Span::current_name() {
+  const auto& stack = span_stack();
+  return stack.empty() ? std::string_view{} : std::string_view(stack.back()->name());
+}
+
+}  // namespace fd::obs
+
+#endif  // FD_OBS_ENABLED

@@ -1,0 +1,88 @@
+#pragma once
+// RAII timing scopes.
+//
+// Span: a named, nestable scope tracked on a thread-local stack. On
+// destruction it records its wall time into the global registry
+// histogram "span.<name>.us" and, if a telemetry sink is installed,
+// emits a "span" event carrying the name, remaining nesting depth, and
+// duration. Stack unwinding (early return, exception) closes spans in
+// the right order for free -- that is the point of the RAII shape.
+//
+// ScopedTimer: the span's little sibling -- times a scope into a
+// caller-chosen histogram with no stack, no event, no name lookup.
+//
+// Both compile to empty structs when FD_OBS_ENABLED is 0.
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+#if FD_OBS_ENABLED
+#include <chrono>
+#endif
+
+namespace fd::obs {
+
+#if FD_OBS_ENABLED
+
+class Span {
+ public:
+  explicit Span(std::string_view name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] double elapsed_us() const;
+
+  // Nesting depth of the calling thread's active span stack.
+  [[nodiscard]] static std::size_t depth();
+  // Innermost active span's name, or "" when none.
+  [[nodiscard]] static std::string_view current_name();
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist) : hist_(hist), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() { hist_.record(elapsed_us()); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  [[nodiscard]] double elapsed_us() const {
+    return std::chrono::duration<double, std::micro>(std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  Histogram& hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#else  // FD_OBS_ENABLED == 0
+
+class Span {
+ public:
+  explicit Span(std::string_view) {}
+  [[nodiscard]] const std::string& name() const {
+    static const std::string empty;
+    return empty;
+  }
+  [[nodiscard]] double elapsed_us() const { return 0.0; }
+  [[nodiscard]] static std::size_t depth() { return 0; }
+  [[nodiscard]] static std::string_view current_name() { return {}; }
+};
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram&) {}
+  [[nodiscard]] double elapsed_us() const { return 0.0; }
+};
+
+#endif  // FD_OBS_ENABLED
+
+}  // namespace fd::obs

@@ -5,6 +5,9 @@
 #include "common/rng.h"
 #include "falcon/sign.h"
 #include "fft/fft.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
+#include "obs/span.h"
 #include "sca/capture.h"
 
 namespace fd::sca {
@@ -50,12 +53,69 @@ class LastWindowRecorder final : public fpr::LeakageSink {
     recording_ = false;
   }
 
+  // Signing attempts of the last run: each attempt (including internal
+  // salt retries the signer makes before a signature passes its norm
+  // check) triggers every slot once per basis row, i.e. twice.
+  [[nodiscard]] std::size_t run_attempts() const {
+    return occurrence_.empty() ? 0 : occurrence_[0] / 2;
+  }
+
  private:
   unsigned row_;
   std::vector<std::vector<fpr::LeakageEvent>> windows_;
   std::vector<unsigned> occurrence_;
   std::size_t current_ = 0;
   bool recording_ = false;
+};
+
+// Per-campaign telemetry shared by the in-memory and archive capture
+// loops: query/record/retry counters, end-of-campaign throughput
+// gauges, and the user-facing progress callback. The callback fires in
+// every build; the metric calls compile to no-ops under FD_OBS=OFF.
+class CampaignTelemetry {
+ public:
+  CampaignTelemetry(const CampaignConfig& config, std::string_view mode)
+      : config_(config),
+        mode_(mode),
+        span_("sca.campaign"),
+        queries_(obs::MetricsRegistry::global().counter("sca.campaign.queries")),
+        records_(obs::MetricsRegistry::global().counter("sca.campaign.records")),
+        retries_(obs::MetricsRegistry::global().counter("sca.campaign.sign_retries")) {}
+
+  void on_query(const LastWindowRecorder& recorder, std::size_t done,
+                std::size_t records_added) {
+    queries_.add(1);
+    records_.add(records_added);
+    const std::size_t attempts = recorder.run_attempts();
+    if (attempts > 1) retries_.add(attempts - 1);
+    if (config_.progress_every != 0 && config_.progress &&
+        (done % config_.progress_every == 0 || done == config_.num_traces)) {
+      config_.progress(done, config_.num_traces);
+    }
+  }
+
+  void finish(std::size_t queries, std::size_t records) {
+    const double us = span_.elapsed_us();
+    if (us > 0.0) {
+      auto& reg = obs::MetricsRegistry::global();
+      reg.gauge("sca.campaign.queries_per_s").set(static_cast<double>(queries) * 1e6 / us);
+      reg.gauge("sca.campaign.records_per_s").set(static_cast<double>(records) * 1e6 / us);
+    }
+    obs::event("sca.campaign")
+        .with("mode", mode_)
+        .with("queries", queries)
+        .with("records", records)
+        .with("wall_us", us)
+        .emit();
+  }
+
+ private:
+  const CampaignConfig& config_;
+  std::string_view mode_;
+  obs::Span span_;
+  obs::Counter& queries_;
+  obs::Counter& records_;
+  obs::Counter& retries_;
 };
 
 // Adversary-side recomputation of FFT(c)[*] from public data.
@@ -133,6 +193,7 @@ ArchiveCampaignResult run_campaign_to_archive(const falcon::SecretKey& sk,
   const SignerFn signer = config.signer ? config.signer : SignerFn(&falcon::sign);
 
   ArchiveCampaignResult out;
+  CampaignTelemetry telemetry(config, "archive");
   tracestore::ArchiveWriter writer;
   tracestore::TraceRecord rec;
   for (std::size_t d = 0; d < config.num_traces; ++d) {
@@ -172,11 +233,13 @@ ArchiveCampaignResult run_campaign_to_archive(const falcon::SecretKey& sk,
       ++out.records;
     }
     ++out.queries;
+    telemetry.on_query(recorder, d + 1, hn);
   }
   if (!writer.close()) {
     out.error = writer.error();
     return out;
   }
+  telemetry.finish(out.queries, out.records);
   out.ok = true;
   return out;
 }
@@ -226,6 +289,7 @@ std::vector<TraceSet> run_full_campaign(const falcon::SecretKey& sk,
   LastWindowRecorder recorder(hn, config.row);
   const SignerFn signer = config.signer ? config.signer : SignerFn(&falcon::sign);
 
+  CampaignTelemetry telemetry(config, "inmemory");
   std::vector<TraceSet> sets(hn);
   for (std::size_t s = 0; s < hn; ++s) {
     sets[s].slot = s;
@@ -247,7 +311,9 @@ std::vector<TraceSet> run_full_campaign(const falcon::SecretKey& sk,
       ct.known_im = cf[s + hn];
       sets[s].traces.push_back(std::move(ct));
     }
+    telemetry.on_query(recorder, d + 1, hn);
   }
+  telemetry.finish(config.num_traces, config.num_traces * hn);
   return sets;
 }
 

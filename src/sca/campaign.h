@@ -47,6 +47,13 @@ struct CampaignConfig {
   // every slot once per row, f-row (t1, FFT(-f)) first then F-row (t0,
   // FFT(-F)). 0 captures the f-row windows, 1 the F-row windows.
   unsigned row = 0;
+  // Observability hook (no effect on captured data): when
+  // `progress_every` > 0 and `progress` is set, the callback fires
+  // after every that many signing queries, and once more at
+  // completion. Campaigns also feed the global obs::MetricsRegistry
+  // (sca.campaign.* counters/gauges) and the span histograms.
+  std::function<void(std::size_t done, std::size_t total)> progress;
+  std::size_t progress_every = 0;
 };
 
 // Captures the FFT(c) (.) FFT(-f) window of one complex slot over

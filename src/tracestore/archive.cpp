@@ -5,9 +5,31 @@
 #include <bit>
 #include <cstring>
 
+#include "obs/metrics.h"
+
 namespace fd::tracestore {
 
 namespace {
+
+// Registry lookups hoisted out of the per-chunk paths; references are
+// stable for the process lifetime.
+obs::Counter& write_chunks_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter("tracestore.write.chunks");
+  return c;
+}
+obs::Counter& write_bytes_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter("tracestore.write.bytes");
+  return c;
+}
+obs::Counter& read_chunks_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter("tracestore.read.chunks");
+  return c;
+}
+obs::Counter& read_crc_failures_counter() {
+  static obs::Counter& c =
+      obs::MetricsRegistry::global().counter("tracestore.read.crc_failures");
+  return c;
+}
 
 // --- little-endian (de)serialization into byte buffers --------------------
 
@@ -204,6 +226,8 @@ bool ArchiveWriter::flush_chunk() {
     fail("short write on chunk");
     return false;
   }
+  write_chunks_counter().add(1);
+  write_bytes_counter().add(header.size() + payload_.size());
   payload_.clear();
   pending_records_ = 0;
   return true;
@@ -235,6 +259,7 @@ bool ArchiveReader::open(const std::string& path) {
   stats_ = {};
   chunk_.clear();
   chunk_pos_ = 0;
+  chunk_ordinal_ = 0;
   max_resident_ = 0;
   file_ = std::fopen(path.c_str(), "rb");
   if (file_ == nullptr) {
@@ -280,11 +305,15 @@ bool ArchiveReader::load_next_chunk() {
       stats_.truncated_tail = true;
       return false;
     }
+    const std::size_t ordinal = chunk_ordinal_++;
     if (crc32(payload) != want_crc) {
       ++stats_.chunks_corrupt;
+      stats_.corrupt_chunk_indices.push_back(ordinal);
+      read_crc_failures_counter().add(1);
       continue;  // chunk length was intact, so the next header is right here
     }
     ++stats_.chunks_ok;
+    read_chunks_counter().add(1);
     chunk_.resize(count);
     for (std::uint32_t i = 0; i < count; ++i) {
       const std::uint8_t* p = payload.data() + i * record_bytes;
@@ -329,6 +358,7 @@ void ArchiveReader::rewind() {
   stats_ = {};
   chunk_.clear();
   chunk_pos_ = 0;
+  chunk_ordinal_ = 0;
 }
 
 // --- verify / merge -------------------------------------------------------
@@ -346,6 +376,7 @@ bool verify_archive(const std::string& path, VerifyReport& report, std::string* 
   report.records = reader.stats().records_read;
   report.chunks_ok = reader.stats().chunks_ok;
   report.chunks_corrupt = reader.stats().chunks_corrupt;
+  report.corrupt_chunks = reader.stats().corrupt_chunk_indices;
   report.truncated_tail = reader.stats().truncated_tail;
   return true;
 }

@@ -106,7 +106,10 @@ struct ArchiveStats {
   std::size_t records_read = 0;
   std::size_t chunks_ok = 0;
   std::size_t chunks_corrupt = 0;  // CRC mismatch, skipped
-  bool truncated_tail = false;     // short chunk header or payload
+  // File-order ordinals (0-based) of the chunks that failed their CRC
+  // -- which shard of a campaign is damaged, not just how many.
+  std::vector<std::size_t> corrupt_chunk_indices;
+  bool truncated_tail = false;  // short chunk header or payload
   [[nodiscard]] bool clean() const { return chunks_corrupt == 0 && !truncated_tail; }
 };
 
@@ -178,6 +181,7 @@ class ArchiveReader {
   ArchiveStats stats_;
   std::vector<TraceRecord> chunk_;  // decoded records of current chunk
   std::size_t chunk_pos_ = 0;
+  std::size_t chunk_ordinal_ = 0;  // file-order index of the next chunk
   std::size_t max_resident_ = 0;
   std::string error_;
 };
@@ -188,6 +192,7 @@ struct VerifyReport {
   std::size_t records = 0;
   std::size_t chunks_ok = 0;
   std::size_t chunks_corrupt = 0;
+  std::vector<std::size_t> corrupt_chunks;  // file-order chunk ordinals
   bool truncated_tail = false;
   [[nodiscard]] bool clean() const { return chunks_corrupt == 0 && !truncated_tail; }
 };

@@ -1,0 +1,400 @@
+// Observability layer: metric correctness, span nesting and exception
+// unwinding, event JSONL round-trips, sink behavior, and the two
+// contracts the attack code depends on:
+//  - fixed-seed runs emit deterministic telemetry (wall-clock fields
+//    excepted, by the _us/_ms/_per_s key convention);
+//  - instrumentation never perturbs attack results: rankings and
+//    correlations are bit-identical with and without a sink installed.
+// When built with FD_OBS=OFF the recording tests skip and the no-op
+// stubs plus the always-compiled jsonl/sink core are exercised instead.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "attack/hypothesis.h"
+#include "attack/streaming_cpa.h"
+#include "common/rng.h"
+#include "falcon/falcon.h"
+#include "obs/obs.h"
+#include "sca/campaign.h"
+
+using namespace fd;
+
+namespace {
+
+class TempFile {
+ public:
+  explicit TempFile(const char* name) : path_(std::string("obs_test_") + name) {
+    std::remove(path_.c_str());
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+std::vector<std::string> read_lines(const std::string& path) {
+  std::vector<std::string> lines;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return lines;
+  std::string line;
+  int ch;
+  while ((ch = std::fgetc(f)) != EOF) {
+    if (ch == '\n') {
+      lines.push_back(line);
+      line.clear();
+    } else {
+      line.push_back(static_cast<char>(ch));
+    }
+  }
+  if (!line.empty()) lines.push_back(line);
+  std::fclose(f);
+  return lines;
+}
+
+bool is_wallclock_key(std::string_view key) {
+  const auto ends_with = [&](std::string_view suffix) {
+    return key.size() >= suffix.size() &&
+           key.substr(key.size() - suffix.size()) == suffix;
+  };
+  return ends_with("_us") || ends_with("_ms") || ends_with("_per_s");
+}
+
+// Serialized event with wall-clock fields dropped: the deterministic
+// residue two identical fixed-seed runs must agree on byte for byte.
+std::string deterministic_view(const obs::Event& ev) {
+  obs::Event filtered;
+  filtered.name = ev.name;
+  for (const auto& [key, value] : ev.fields) {
+    if (!is_wallclock_key(key)) filtered.fields.emplace_back(key, value);
+  }
+  return obs::to_jsonl(filtered);
+}
+
+}  // namespace
+
+// ---- always-compiled core: jsonl + event serialization -------------------
+
+TEST(ObsJsonl, EventRoundTripsThroughParser) {
+  obs::Event ev;
+  ev.name = "unit.test";
+  ev.add("count", obs::FieldValue::of(std::uint64_t{12345678901234ULL}));
+  ev.add("delta", obs::FieldValue::of(std::int64_t{-42}));
+  ev.add("ratio", obs::FieldValue::of(0.625));
+  ev.add("flag", obs::FieldValue::of(true));
+  ev.add("label", obs::FieldValue::of(std::string_view("slot7.im \"q\"\n")));
+
+  const std::string line = obs::to_jsonl(ev);
+  obs::jsonl::Object obj;
+  std::string err;
+  ASSERT_TRUE(obs::jsonl::parse_object(line, obj, &err)) << err << " in " << line;
+
+  EXPECT_EQ(obj.str("ev"), "unit.test");
+  EXPECT_EQ(obj.num("count"), 12345678901234.0);
+  EXPECT_EQ(obj.num("delta"), -42.0);
+  EXPECT_EQ(obj.num("ratio"), 0.625);
+  ASSERT_NE(obj.find("flag"), nullptr);
+  EXPECT_EQ(obj.find("flag")->kind, obs::jsonl::Value::Kind::kBool);
+  EXPECT_TRUE(obj.find("flag")->b);
+  EXPECT_EQ(obj.str("label"), "slot7.im \"q\"\n");
+
+  // Insertion order is preserved ("ev" leads).
+  ASSERT_EQ(obj.fields.size(), 6u);
+  EXPECT_EQ(obj.fields[0].first, "ev");
+  EXPECT_EQ(obj.fields[1].first, "count");
+  EXPECT_EQ(obj.fields[5].first, "label");
+}
+
+TEST(ObsJsonl, NumberRenderingIsCanonical) {
+  std::string out;
+  obs::jsonl::append_number(out, 300.0);
+  EXPECT_EQ(out, "300");  // integral -> no decimal point
+  out.clear();
+  obs::jsonl::append_number(out, 0.5);
+  EXPECT_EQ(out, "0.5");
+}
+
+TEST(ObsJsonl, ParserRejectsNestedObjects) {
+  obs::jsonl::Object obj;
+  EXPECT_FALSE(obs::jsonl::parse_object(R"({"a":{"b":1}})", obj));
+  EXPECT_FALSE(obs::jsonl::parse_object("not json", obj));
+}
+
+TEST(ObsSink, JsonLinesSinkWritesParseableLines) {
+  TempFile tmp("jsonl_sink.jsonl");
+  {
+    obs::JsonLinesSink sink(tmp.path());
+    ASSERT_TRUE(sink.ok()) << sink.error();
+    obs::Event ev;
+    ev.name = "first";
+    ev.add("x", obs::FieldValue::of(std::uint64_t{1}));
+    sink.record(ev);
+    ev.name = "second";
+    sink.record(ev);
+    sink.flush();
+  }
+  const auto lines = read_lines(tmp.path());
+  ASSERT_EQ(lines.size(), 2u);
+  obs::jsonl::Object obj;
+  ASSERT_TRUE(obs::jsonl::parse_object(lines[0], obj));
+  EXPECT_EQ(obj.str("ev"), "first");
+  ASSERT_TRUE(obs::jsonl::parse_object(lines[1], obj));
+  EXPECT_EQ(obj.str("ev"), "second");
+}
+
+// ---- metrics --------------------------------------------------------------
+
+TEST(ObsMetrics, HistogramBucketGeometry) {
+  if (!FD_OBS_ENABLED) GTEST_SKIP() << "built with FD_OBS=OFF";
+  // Bucket 0 is [0,1); bucket i >= 1 is [2^(i-1), 2^i).
+  EXPECT_EQ(obs::histogram_bucket_index(0.0), 0u);
+  EXPECT_EQ(obs::histogram_bucket_index(0.99), 0u);
+  EXPECT_EQ(obs::histogram_bucket_index(1.0), 1u);
+  EXPECT_EQ(obs::histogram_bucket_index(2.0), 2u);
+  EXPECT_EQ(obs::histogram_bucket_index(3.0), 2u);
+  EXPECT_EQ(obs::histogram_bucket_index(4.0), 3u);
+  EXPECT_EQ(obs::histogram_bucket_index(1e300), obs::kHistogramBuckets - 1);
+  for (std::size_t b = 1; b + 1 < obs::kHistogramBuckets; ++b) {
+    const double lo = obs::histogram_bucket_lower_bound(b);
+    EXPECT_EQ(obs::histogram_bucket_index(lo), b);
+    EXPECT_EQ(obs::histogram_bucket_index(std::nextafter(lo, 0.0)), b - 1);
+  }
+}
+
+TEST(ObsMetrics, CounterGaugeHistogramAndIdentity) {
+  if (!FD_OBS_ENABLED) GTEST_SKIP() << "built with FD_OBS=OFF";
+  auto& reg = obs::MetricsRegistry::global();
+
+  auto& c = reg.counter("test.obs.counter");
+  c.reset();
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Lookup-or-create returns the same object for the same name.
+  EXPECT_EQ(&c, &reg.counter("test.obs.counter"));
+  EXPECT_NE(&c, &reg.counter("test.obs.counter2"));
+
+  auto& g = reg.gauge("test.obs.gauge");
+  g.set(2.5);
+  EXPECT_EQ(g.value(), 2.5);
+
+  auto& h = reg.histogram("test.obs.hist");
+  h.reset();
+  h.record(0.5);
+  h.record(3.0);
+  h.record(100.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 103.5);
+  EXPECT_EQ(h.min(), 0.5);
+  EXPECT_EQ(h.max(), 100.0);
+  EXPECT_EQ(h.bucket_count(0), 1u);                                  // 0.5
+  EXPECT_EQ(h.bucket_count(obs::histogram_bucket_index(3.0)), 1u);   // 3
+  EXPECT_EQ(h.bucket_count(obs::histogram_bucket_index(100.0)), 1u); // 100
+
+  const auto snap = reg.snapshot();
+  bool found = false;
+  for (const auto& cv : snap.counters) {
+    if (cv.name == "test.obs.counter") {
+      found = true;
+      EXPECT_EQ(cv.value, 42u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ObsMetrics, ExportToSinkEmitsMetricEvents) {
+  if (!FD_OBS_ENABLED) GTEST_SKIP() << "built with FD_OBS=OFF";
+  auto& reg = obs::MetricsRegistry::global();
+  reg.counter("test.obs.export").reset();
+  reg.counter("test.obs.export").add(7);
+  obs::CollectingSink sink;
+  reg.export_to(sink);
+  bool found = false;
+  for (const auto& ev : sink.events()) {
+    if (ev.name != "metric") continue;
+    const auto* name = ev.find("name");
+    if (name == nullptr || name->s != "test.obs.export") continue;
+    found = true;
+    const auto* value = ev.find("value");
+    ASSERT_NE(value, nullptr);
+    EXPECT_EQ(value->as_double(), 7.0);
+  }
+  EXPECT_TRUE(found);
+}
+
+// ---- spans ----------------------------------------------------------------
+
+TEST(ObsSpan, NestingDepthAndCurrentName) {
+  if (!FD_OBS_ENABLED) GTEST_SKIP() << "built with FD_OBS=OFF";
+  EXPECT_EQ(obs::Span::depth(), 0u);
+  {
+    obs::Span outer("outer");
+    EXPECT_EQ(obs::Span::depth(), 1u);
+    EXPECT_EQ(obs::Span::current_name(), "outer");
+    {
+      obs::Span inner("inner");
+      EXPECT_EQ(obs::Span::depth(), 2u);
+      EXPECT_EQ(obs::Span::current_name(), "inner");
+      EXPECT_GE(inner.elapsed_us(), 0.0);
+    }
+    EXPECT_EQ(obs::Span::depth(), 1u);
+    EXPECT_EQ(obs::Span::current_name(), "outer");
+  }
+  EXPECT_EQ(obs::Span::depth(), 0u);
+  EXPECT_EQ(obs::Span::current_name(), "");
+}
+
+TEST(ObsSpan, ExceptionUnwindingClosesSpansInOrder) {
+  if (!FD_OBS_ENABLED) GTEST_SKIP() << "built with FD_OBS=OFF";
+  obs::CollectingSink sink;
+  obs::ScopedTelemetrySink scope(&sink);
+  try {
+    obs::Span outer("unwind.outer");
+    obs::Span inner("unwind.inner");
+    throw std::runtime_error("boom");
+  } catch (const std::runtime_error&) {
+  }
+  EXPECT_EQ(obs::Span::depth(), 0u);
+  // Both spans closed, inner first.
+  std::vector<std::string> names;
+  for (const auto& ev : sink.events()) {
+    if (ev.name != "span") continue;
+    const auto* n = ev.find("name");
+    ASSERT_NE(n, nullptr);
+    names.push_back(n->s);
+  }
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0], "unwind.inner");
+  EXPECT_EQ(names[1], "unwind.outer");
+  // The span histograms got their samples too.
+  EXPECT_GE(obs::MetricsRegistry::global().histogram("span.unwind.inner.us").count(), 1u);
+}
+
+TEST(ObsSpan, NoSinkMeansNoEventsButHistogramStillRecords) {
+  if (!FD_OBS_ENABLED) GTEST_SKIP() << "built with FD_OBS=OFF";
+  auto& hist = obs::MetricsRegistry::global().histogram("span.quiet.us");
+  hist.reset();
+  ASSERT_EQ(obs::sink(), nullptr);
+  { obs::Span span("quiet"); }
+  EXPECT_EQ(hist.count(), 1u);
+}
+
+// ---- event builder front end ----------------------------------------------
+
+TEST(ObsEventBuilder, EmitsOnlyWithSinkInstalled) {
+  obs::CollectingSink sink;
+  {
+    obs::ScopedTelemetrySink scope(&sink);
+    obs::event("builder.test")
+        .with("traces", std::size_t{300})
+        .with("rank", -1)
+        .with("r", 0.25)
+        .with("exact", true)
+        .with("label", "slot0.re")
+        .emit();
+  }
+  obs::event("builder.dropped").with("x", 1).emit();  // no sink installed
+
+  if (!FD_OBS_ENABLED) {
+    EXPECT_TRUE(sink.events().empty());  // OFF: the front end is a no-op
+    return;
+  }
+  ASSERT_EQ(sink.events().size(), 1u);
+  const auto& ev = sink.events()[0];
+  EXPECT_EQ(ev.name, "builder.test");
+  ASSERT_NE(ev.find("traces"), nullptr);
+  EXPECT_EQ(ev.find("traces")->u, 300u);
+  ASSERT_NE(ev.find("rank"), nullptr);
+  EXPECT_EQ(ev.find("rank")->i, -1);
+  ASSERT_NE(ev.find("label"), nullptr);
+  EXPECT_EQ(ev.find("label")->s, "slot0.re");
+}
+
+// ---- attack-level contracts -------------------------------------------------
+
+namespace {
+
+sca::CampaignConfig mini_config(std::uint64_t seed) {
+  sca::CampaignConfig cfg;
+  cfg.num_traces = 120;
+  cfg.device.noise_sigma = 2.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+attack::StreamingCpaSpec snapshot_spec(const falcon::SecretKey& sk, std::size_t slot) {
+  attack::StreamingCpaSpec spec;
+  spec.slot = slot;
+  spec.sample_offsets = {sca::window::kOffExpSum};
+  for (std::uint32_t e = 1005; e <= 1053; ++e) spec.guesses.push_back(e);
+  spec.model = [](std::uint32_t guess, const attack::KnownOperand& k) {
+    return attack::hyp_exponent(guess, k);
+  };
+  spec.snapshot_every = 40;
+  spec.truth_guess = sk.b01[slot].biased_exponent();
+  spec.label = "slot" + std::to_string(slot);
+  return spec;
+}
+
+}  // namespace
+
+TEST(ObsDeterminism, FixedSeedCampaignTelemetryIsReproducible) {
+  if (!FD_OBS_ENABLED) GTEST_SKIP() << "built with FD_OBS=OFF";
+  ChaCha20Prng rng("obs determinism key");
+  const auto kp = falcon::keygen(3, rng);
+
+  std::vector<std::string> runs[2];
+  for (auto& run : runs) {
+    obs::CollectingSink sink;
+    obs::ScopedTelemetrySink scope(&sink);
+    const auto sets = sca::run_full_campaign(kp.sk, mini_config(0x0B5));
+    const auto spec = snapshot_spec(kp.sk, 1);
+    (void)attack::run_cpa_inmemory(sets[1], spec);
+    for (const auto& ev : sink.events()) run.push_back(deterministic_view(ev));
+  }
+  ASSERT_FALSE(runs[0].empty());
+  ASSERT_EQ(runs[0].size(), runs[1].size());
+  for (std::size_t i = 0; i < runs[0].size(); ++i) {
+    EXPECT_EQ(runs[0][i], runs[1][i]) << "event " << i;
+  }
+  // The stream contains both campaign telemetry and rank snapshots.
+  bool saw_campaign = false;
+  bool saw_snapshot = false;
+  for (const auto& line : runs[0]) {
+    saw_campaign = saw_campaign || line.find("\"ev\":\"sca.campaign\"") != std::string::npos;
+    saw_snapshot = saw_snapshot || line.find("\"ev\":\"cpa.snapshot\"") != std::string::npos;
+  }
+  EXPECT_TRUE(saw_campaign);
+  EXPECT_TRUE(saw_snapshot);
+}
+
+TEST(ObsDeterminism, InstrumentationDoesNotPerturbRankings) {
+  // Valid in both FD_OBS modes: with the layer off this pins that the
+  // no-op stubs leave the math untouched, which together with the ON run
+  // of the same test pins FD_OBS=ON vs OFF bit-identical rankings.
+  ChaCha20Prng rng("obs perturbation key");
+  const auto kp = falcon::keygen(3, rng);
+  const auto sets = sca::run_full_campaign(kp.sk, mini_config(0x0B6));
+
+  auto spec_quiet = snapshot_spec(kp.sk, 1);
+  spec_quiet.snapshot_every = 0;  // telemetry fully disabled
+  spec_quiet.truth_guess = -1;
+  spec_quiet.label.clear();
+  const auto quiet = attack::run_cpa_inmemory(sets[1], spec_quiet);
+
+  obs::CollectingSink sink;
+  obs::ScopedTelemetrySink scope(&sink);
+  const auto spec_loud = snapshot_spec(kp.sk, 1);
+  const auto loud = attack::run_cpa_inmemory(sets[1], spec_loud);
+
+  ASSERT_EQ(quiet.ranking(), loud.ranking());
+  for (std::size_t g = 0; g < spec_loud.guesses.size(); ++g) {
+    EXPECT_EQ(quiet.peak(g), loud.peak(g)) << "guess " << g;  // bit-exact
+  }
+}

@@ -1,0 +1,296 @@
+// fd-report: render a telemetry JSONL file (obs::JsonLinesSink output)
+// into human-readable attack summaries.
+//
+//   fd-report <telemetry.jsonl>            per-label summary tables
+//   fd-report <telemetry.jsonl> --label L  full convergence curve of one label
+//
+// The headline table is the per-coefficient trace-count-vs-rank view of
+// the "cpa.snapshot" stream: for every component label it shows the
+// final top-1 guess, the top-1/top-2 margin, and the trace count from
+// which the true value holds rank 0 to the end ("disclosed@") -- the
+// offline reconstruction of the paper's Fig. 4 e-h convergence curves.
+//
+// Links only the always-compiled obs core (jsonl parser), so it reads
+// telemetry from instrumented builds even when built with FD_OBS=OFF.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/jsonl.h"
+
+namespace jsonl = fd::obs::jsonl;
+
+namespace {
+
+struct Snapshot {
+  std::size_t traces = 0;
+  std::uint64_t top1_guess = 0;
+  double top1_r = 0.0;
+  double top2_r = 0.0;
+  double margin = 0.0;
+  long truth_rank = -1;
+  double truth_r = 0.0;
+};
+
+struct Phase {
+  std::string phase;
+  std::size_t candidates_in = 0;
+  std::size_t kept = 0;
+  std::uint64_t value = 0;
+  double score = 0.0;
+};
+
+struct Campaign {
+  std::string mode;
+  std::size_t queries = 0;
+  std::size_t records = 0;
+  double wall_us = 0.0;
+};
+
+struct SpanStats {
+  std::size_t count = 0;
+  double total_us = 0.0;
+};
+
+// Per-label series, kept in first-seen order so the report is stable
+// across runs of the same telemetry file.
+template <typename T>
+class LabelSeries {
+ public:
+  std::vector<T>& at(std::string_view label) {
+    const auto it = index_.find(std::string(label));
+    if (it != index_.end()) return series_[it->second].second;
+    index_.emplace(label, series_.size());
+    series_.emplace_back(label, std::vector<T>());
+    return series_.back().second;
+  }
+  [[nodiscard]] const auto& all() const { return series_; }
+  [[nodiscard]] const std::vector<T>* find(std::string_view label) const {
+    const auto it = index_.find(std::string(label));
+    return it == index_.end() ? nullptr : &series_[it->second].second;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::vector<T>>> series_;
+  std::map<std::string, std::size_t> index_;
+};
+
+struct Report {
+  LabelSeries<Snapshot> snapshots;
+  LabelSeries<Phase> phases;
+  std::vector<Campaign> campaigns;
+  std::vector<std::pair<std::string, SpanStats>> spans;  // first-seen order
+  std::size_t events = 0;
+  std::size_t parse_errors = 0;
+};
+
+void add_span(Report& rep, std::string_view name, double wall_us) {
+  for (auto& [n, st] : rep.spans) {
+    if (n == name) {
+      ++st.count;
+      st.total_us += wall_us;
+      return;
+    }
+  }
+  rep.spans.emplace_back(name, SpanStats{1, wall_us});
+}
+
+void ingest_line(Report& rep, std::string_view line) {
+  // Skip blank lines quietly; count malformed ones.
+  std::size_t ws = 0;
+  while (ws < line.size() && (line[ws] == ' ' || line[ws] == '\t' || line[ws] == '\r')) ++ws;
+  if (ws == line.size()) return;
+
+  jsonl::Object obj;
+  if (!jsonl::parse_object(line, obj)) {
+    ++rep.parse_errors;
+    return;
+  }
+  ++rep.events;
+  const std::string_view ev = obj.str("ev");
+  if (ev == "cpa.snapshot") {
+    Snapshot s;
+    s.traces = static_cast<std::size_t>(obj.num("traces"));
+    s.top1_guess = static_cast<std::uint64_t>(obj.num("top1_guess"));
+    s.top1_r = obj.num("top1_r");
+    s.top2_r = obj.num("top2_r");
+    s.margin = obj.num("margin");
+    s.truth_rank = static_cast<long>(obj.num("truth_rank", -1.0));
+    s.truth_r = obj.num("truth_r");
+    rep.snapshots.at(obj.str("label")).push_back(s);
+  } else if (ev == "ep.phase") {
+    Phase p;
+    p.phase = obj.str("phase");
+    p.candidates_in = static_cast<std::size_t>(obj.num("candidates_in"));
+    p.kept = static_cast<std::size_t>(obj.num("kept"));
+    p.value = static_cast<std::uint64_t>(obj.num("value"));
+    p.score = obj.num("score");
+    rep.phases.at(obj.str("label")).push_back(p);
+  } else if (ev == "sca.campaign") {
+    Campaign c;
+    c.mode = obj.str("mode");
+    c.queries = static_cast<std::size_t>(obj.num("queries"));
+    c.records = static_cast<std::size_t>(obj.num("records"));
+    c.wall_us = obj.num("wall_us");
+    rep.campaigns.push_back(c);
+  } else if (ev == "span") {
+    add_span(rep, obj.str("name"), obj.num("wall_us"));
+  }
+}
+
+// Smallest trace count from which the truth holds rank 0 through the
+// final snapshot; -1 if it never stabilizes (or was not tracked).
+long disclosed_at(const std::vector<Snapshot>& snaps) {
+  long at = -1;
+  for (const auto& s : snaps) {
+    if (s.truth_rank == 0) {
+      if (at < 0) at = static_cast<long>(s.traces);
+    } else {
+      at = -1;  // lost rank 0 again; restart
+    }
+  }
+  return at;
+}
+
+void print_summary(const Report& rep) {
+  if (!rep.campaigns.empty()) {
+    std::printf("== campaigns ==\n");
+    for (const auto& c : rep.campaigns) {
+      std::printf("  mode=%-9s queries=%-8zu records=%-10zu wall=%.3fs\n", c.mode.c_str(),
+                  c.queries, c.records, c.wall_us / 1e6);
+    }
+    std::printf("\n");
+  }
+
+  if (!rep.snapshots.all().empty()) {
+    std::printf("== per-component convergence (cpa.snapshot) ==\n");
+    std::printf("  %-14s %6s %8s %12s %9s %9s %6s %11s\n", "label", "snaps", "traces", "top1",
+                "top1_r", "margin", "rank", "disclosed@");
+    for (const auto& [label, snaps] : rep.snapshots.all()) {
+      const Snapshot& last = snaps.back();
+      const long at = disclosed_at(snaps);
+      char at_buf[24];
+      if (at < 0) {
+        std::snprintf(at_buf, sizeof(at_buf), "%s", "-");
+      } else {
+        std::snprintf(at_buf, sizeof(at_buf), "%ld", at);
+      }
+      char rank_buf[24];
+      if (last.truth_rank < 0) {
+        std::snprintf(rank_buf, sizeof(rank_buf), "%s", "-");
+      } else {
+        std::snprintf(rank_buf, sizeof(rank_buf), "%ld", last.truth_rank);
+      }
+      std::printf("  %-14s %6zu %8zu %12llu %9.5f %9.5f %6s %11s\n", label.c_str(),
+                  snaps.size(), last.traces,
+                  static_cast<unsigned long long>(last.top1_guess), last.top1_r, last.margin,
+                  rank_buf, at_buf);
+    }
+    std::printf("\n");
+  }
+
+  if (!rep.phases.all().empty()) {
+    std::printf("== extend-and-prune (ep.phase) ==\n");
+    std::printf("  %-14s %-12s %12s %8s %12s %9s\n", "label", "phase", "candidates", "kept",
+                "value", "score");
+    for (const auto& [label, phases] : rep.phases.all()) {
+      for (const auto& p : phases) {
+        std::printf("  %-14s %-12s %12zu %8zu %12llu %9.5f\n", label.c_str(),
+                    p.phase.c_str(), p.candidates_in, p.kept,
+                    static_cast<unsigned long long>(p.value), p.score);
+      }
+    }
+    std::printf("\n");
+  }
+
+  if (!rep.spans.empty()) {
+    std::printf("== spans ==\n");
+    std::printf("  %-28s %8s %12s %12s\n", "name", "count", "total_ms", "mean_us");
+    for (const auto& [name, st] : rep.spans) {
+      std::printf("  %-28s %8zu %12.3f %12.1f\n", name.c_str(), st.count, st.total_us / 1e3,
+                  st.total_us / static_cast<double>(st.count));
+    }
+    std::printf("\n");
+  }
+}
+
+int print_curve(const Report& rep, const std::string& label) {
+  const std::vector<Snapshot>* snaps = rep.snapshots.find(label);
+  if (snaps == nullptr || snaps->empty()) {
+    std::fprintf(stderr, "fd-report: no cpa.snapshot events for label '%s'\n", label.c_str());
+    return 1;
+  }
+  std::printf("# convergence curve: %s\n", label.c_str());
+  std::printf("%8s %12s %9s %9s %9s %6s %9s\n", "traces", "top1", "top1_r", "top2_r",
+              "margin", "rank", "truth_r");
+  for (const auto& s : *snaps) {
+    char rank_buf[24];
+    if (s.truth_rank < 0) {
+      std::snprintf(rank_buf, sizeof(rank_buf), "%s", "-");
+    } else {
+      std::snprintf(rank_buf, sizeof(rank_buf), "%ld", s.truth_rank);
+    }
+    std::printf("%8zu %12llu %9.5f %9.5f %9.5f %6s %9.5f\n", s.traces,
+                static_cast<unsigned long long>(s.top1_guess), s.top1_r, s.top2_r, s.margin,
+                rank_buf, s.truth_r);
+  }
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fd-report <telemetry.jsonl>\n"
+               "       fd-report <telemetry.jsonl> --label <label>\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string label;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--label") {
+      if (i + 1 >= argc) return usage();
+      label = argv[++i];
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      return usage();
+    }
+  }
+  if (path.empty()) return usage();
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "fd-report: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  Report rep;
+  std::string line;
+  int ch;
+  while ((ch = std::fgetc(f)) != EOF) {
+    if (ch == '\n') {
+      ingest_line(rep, line);
+      line.clear();
+    } else {
+      line.push_back(static_cast<char>(ch));
+    }
+  }
+  if (!line.empty()) ingest_line(rep, line);
+  std::fclose(f);
+
+  if (!label.empty()) return print_curve(rep, label);
+
+  std::printf("fd-report: %s -- %zu events", path.c_str(), rep.events);
+  if (rep.parse_errors > 0) std::printf(", %zu malformed lines", rep.parse_errors);
+  std::printf("\n\n");
+  print_summary(rep);
+  return 0;
+}

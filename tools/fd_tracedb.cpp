@@ -1,9 +1,12 @@
 // fd-tracedb: offline tooling for .fdtrace archives.
 //
-//   fd-tracedb info <archive>                 header + record census
-//   fd-tracedb verify <archive>               CRC walk; exit 1 on damage
+//   fd-tracedb info <archive> [--json]        header + record census
+//   fd-tracedb verify <archive> [--json]      CRC walk; exit 1 on damage
 //   fd-tracedb merge <out> <in1> <in2> [...]  join shards into one archive
 //   fd-tracedb export-csv <archive> [slot [max_records]]
+//
+// --json replaces the human output of info/verify with one flat JSON
+// object on stdout (the telemetry JSONL dialect), for scripting and CI.
 //
 // Links only fd_tracestore: the tool runs anywhere the capture rig does
 // not (analysis boxes, CI), which is the point of a persistent format.
@@ -14,13 +17,75 @@
 #include <cstdlib>
 #include <span>
 #include <string>
+#include <string_view>
+#include <type_traits>
 #include <vector>
 
+#include "obs/jsonl.h"
 #include "tracestore/archive.h"
 
 using namespace fd::tracestore;
+namespace jsonl = fd::obs::jsonl;
 
 namespace {
+
+// Tiny flat-JSON object writer over the canonical jsonl helpers.
+class JsonOut {
+ public:
+  JsonOut& field(std::string_view key, double v) {
+    key_(key);
+    jsonl::append_number(buf_, v);
+    return *this;
+  }
+  // Integral values route through double explicitly; without this, a
+  // size_t argument is ambiguous between the double and bool overloads.
+  template <typename T>
+    requires(std::is_integral_v<T> && !std::is_same_v<T, bool>)
+  JsonOut& field(std::string_view key, T v) {
+    return field(key, static_cast<double>(v));
+  }
+  JsonOut& field(std::string_view key, std::string_view v) {
+    key_(key);
+    buf_ += '"';
+    buf_ += jsonl::escape(v);
+    buf_ += '"';
+    return *this;
+  }
+  JsonOut& field(std::string_view key, const char* v) {
+    return field(key, std::string_view(v));
+  }
+  JsonOut& field(std::string_view key, bool v) {
+    key_(key);
+    buf_ += v ? "true" : "false";
+    return *this;
+  }
+  JsonOut& field(std::string_view key, std::span<const std::size_t> values) {
+    key_(key);
+    buf_ += '[';
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      if (i != 0) buf_ += ',';
+      jsonl::append_number(buf_, static_cast<double>(values[i]));
+    }
+    buf_ += ']';
+    return *this;
+  }
+  void print() { std::printf("{%s}\n", buf_.c_str()); }
+
+ private:
+  void key_(std::string_view key) {
+    if (!buf_.empty()) buf_ += ',';
+    buf_ += '"';
+    buf_ += jsonl::escape(key);
+    buf_ += "\":";
+  }
+  std::string buf_;
+};
+
+std::string hex64(std::uint64_t v) {
+  char buf[19];
+  std::snprintf(buf, sizeof(buf), "0x%016llX", static_cast<unsigned long long>(v));
+  return buf;
+}
 
 void print_meta(const ArchiveMeta& m) {
   std::printf("format version     %u\n", m.version);
@@ -36,13 +101,12 @@ void print_meta(const ArchiveMeta& m) {
               (m.flags & kFlagMerged) != 0 ? " (merged shards)" : "");
 }
 
-int cmd_info(const std::string& path) {
+int cmd_info(const std::string& path, bool json) {
   ArchiveReader reader;
   if (!reader.open(path)) {
     std::fprintf(stderr, "fd-tracedb: %s\n", reader.error().c_str());
     return 2;
   }
-  print_meta(reader.meta());
   TraceRecord rec;
   std::size_t per_slot_min = SIZE_MAX;
   std::size_t per_slot_max = 0;
@@ -54,20 +118,69 @@ int cmd_info(const std::string& path) {
     per_slot_min = std::min(per_slot_min, c);
     per_slot_max = std::max(per_slot_max, c);
   }
+  if (per_slot.empty()) per_slot_min = 0;
+  const auto& m = reader.meta();
   const auto& st = reader.stats();
-  std::printf("records            %zu (%zu..%zu per slot)\n", st.records_read,
-              per_slot.empty() ? 0 : per_slot_min, per_slot_max);
+  if (json) {
+    JsonOut out;
+    out.field("archive", path)
+        .field("version", m.version)
+        .field("logn", m.logn)
+        .field("n", 1U << m.logn)
+        .field("row", m.row)
+        .field("num_slots", m.num_slots)
+        .field("samples_per_trace", m.samples_per_trace)
+        .field("traces_per_chunk", m.traces_per_chunk)
+        .field("alpha", m.alpha)
+        .field("noise_sigma", m.noise_sigma)
+        .field("samples_per_event", m.samples_per_event)
+        .field("jitter_max", m.jitter_max)
+        .field("constant_weight", (m.flags & kFlagConstantWeight) != 0)
+        .field("merged", (m.flags & kFlagMerged) != 0)
+        .field("seed", hex64(m.seed))  // string: a 64-bit seed can exceed 2^53
+        .field("records", st.records_read)
+        .field("per_slot_min", per_slot_min)
+        .field("per_slot_max", per_slot_max)
+        .field("chunks_ok", st.chunks_ok)
+        .field("chunks_corrupt", st.chunks_corrupt)
+        .field("corrupt_chunks", std::span<const std::size_t>(st.corrupt_chunk_indices))
+        .field("truncated_tail", st.truncated_tail);
+    out.print();
+    return 0;
+  }
+  print_meta(m);
+  std::printf("records            %zu (%zu..%zu per slot)\n", st.records_read, per_slot_min,
+              per_slot_max);
   std::printf("chunks             %zu ok, %zu corrupt%s\n", st.chunks_ok, st.chunks_corrupt,
               st.truncated_tail ? ", truncated tail" : "");
   return 0;
 }
 
-int cmd_verify(const std::string& path) {
+int cmd_verify(const std::string& path, bool json) {
   VerifyReport report;
   std::string error;
   if (!verify_archive(path, report, &error)) {
-    std::fprintf(stderr, "fd-tracedb: %s\n", error.c_str());
+    if (json) {
+      JsonOut out;
+      out.field("archive", path).field("ok", false).field("error", error);
+      out.print();
+    } else {
+      std::fprintf(stderr, "fd-tracedb: %s\n", error.c_str());
+    }
     return 2;
+  }
+  if (json) {
+    JsonOut out;
+    out.field("archive", path)
+        .field("ok", true)
+        .field("clean", report.clean())
+        .field("records", report.records)
+        .field("chunks_ok", report.chunks_ok)
+        .field("chunks_corrupt", report.chunks_corrupt)
+        .field("corrupt_chunks", std::span<const std::size_t>(report.corrupt_chunks))
+        .field("truncated_tail", report.truncated_tail);
+    out.print();
+    return report.clean() ? 0 : 1;
   }
   std::printf("%s: %zu records in %zu chunks", path.c_str(), report.records,
               report.chunks_ok + report.chunks_corrupt);
@@ -78,6 +191,9 @@ int cmd_verify(const std::string& path) {
   std::printf(" -- DAMAGED (%zu corrupt chunk%s%s)\n", report.chunks_corrupt,
               report.chunks_corrupt == 1 ? "" : "s",
               report.truncated_tail ? ", truncated tail" : "");
+  for (const std::size_t c : report.corrupt_chunks) {
+    std::printf("  corrupt chunk #%zu (CRC mismatch)\n", c);
+  }
   return 1;
 }
 
@@ -124,8 +240,8 @@ int cmd_export_csv(const std::string& path, long slot, std::size_t max_records) 
 
 int usage() {
   std::fprintf(stderr,
-               "usage: fd-tracedb info <archive>\n"
-               "       fd-tracedb verify <archive>\n"
+               "usage: fd-tracedb info <archive> [--json]\n"
+               "       fd-tracedb verify <archive> [--json]\n"
                "       fd-tracedb merge <out> <in1> <in2> [...]\n"
                "       fd-tracedb export-csv <archive> [slot [max_records]]\n");
   return 2;
@@ -134,20 +250,30 @@ int usage() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage();
-  const std::string cmd = argv[1];
-  if (cmd == "info") return cmd_info(argv[2]);
-  if (cmd == "verify") return cmd_verify(argv[2]);
+  // Strip --json wherever it appears; positional arguments keep their order.
+  bool json = false;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--json") {
+      json = true;
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  if (args.size() < 2) return usage();
+  const std::string& cmd = args[0];
+  if (cmd == "info") return cmd_info(args[1], json);
+  if (cmd == "verify") return cmd_verify(args[1], json);
   if (cmd == "merge") {
-    if (argc < 4) return usage();
-    const std::vector<std::string> inputs(argv + 3, argv + argc);
-    return cmd_merge(argv[2], inputs);
+    if (args.size() < 3) return usage();
+    const std::vector<std::string> inputs(args.begin() + 2, args.end());
+    return cmd_merge(args[1], inputs);
   }
   if (cmd == "export-csv") {
-    const long slot = argc > 3 ? std::atol(argv[3]) : -1;
+    const long slot = args.size() > 2 ? std::atol(args[2].c_str()) : -1;
     const std::size_t max_records =
-        argc > 4 ? static_cast<std::size_t>(std::atoll(argv[4])) : SIZE_MAX;
-    return cmd_export_csv(argv[2], slot, max_records);
+        args.size() > 3 ? static_cast<std::size_t>(std::atoll(args[3].c_str())) : SIZE_MAX;
+    return cmd_export_csv(args[1], slot, max_records);
   }
   return usage();
 }
