@@ -1,0 +1,123 @@
+// Scaling of the exec engine's two parallel surfaces: sharded capture
+// and the all-component attack, serial vs 2/4/8 workers.
+//
+//   ./bench_parallel_scaling [logn] [traces] [--json out.jsonl]
+//   (defaults: logn = 4, 240 traces)
+//
+// Each worker count runs the IDENTICAL experiment (same shard plan,
+// same seeds -- the determinism contract of DESIGN.md section 9), so
+// wall-clock ratios are pure scheduling, not different work. Speedup is
+// reported against the pool-less serial path. On a single-core host the
+// expected result is ~1.0x across the board (the engine adds no
+// speedup where the machine has no parallelism to give) -- the bench
+// then documents overhead, not scaling.
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "attack/key_recovery.h"
+#include "attack/parallel_attack.h"
+#include "bench_harness.h"
+#include "common/rng.h"
+#include "exec/thread_pool.h"
+#include "falcon/falcon.h"
+#include "sca/campaign.h"
+#include "tracestore/archive.h"
+
+using namespace fd;
+
+namespace {
+
+constexpr std::size_t kWorkerCounts[] = {0, 2, 4, 8};  // 0 = no pool (serial)
+constexpr std::size_t kShards = 8;
+
+double run_capture(const falcon::SecretKey& sk, std::size_t traces, std::size_t workers,
+                   const std::string& path) {
+  sca::ShardedCampaignConfig cfg;
+  cfg.base.num_traces = traces;
+  cfg.base.device.noise_sigma = 2.0;
+  cfg.base.seed = 0xBE7C;
+  cfg.num_shards = kShards;
+  std::unique_ptr<exec::ThreadPool> pool;
+  if (workers > 0) pool = std::make_unique<exec::ThreadPool>(workers);
+  bench::WallTimer timer;
+  const auto res = sca::run_campaign_sharded(sk, cfg, path, pool.get());
+  const double ms = timer.ms();
+  if (!res.ok) {
+    std::fprintf(stderr, "capture failed: %s\n", res.error.c_str());
+    std::exit(2);
+  }
+  return ms;
+}
+
+double run_attack(const falcon::KeyPair& kp, const std::vector<sca::TraceSet>& sets,
+                  std::size_t workers) {
+  attack::KeyRecoveryConfig cfg;
+  cfg.seed = 0xBE7C;
+  cfg.adversarial_random = 60;
+  const auto config_for = [&](const attack::ComponentIndex& ci) {
+    return attack::component_attack_config(kp.sk, cfg, /*row=*/0, ci.slot, ci.imag);
+  };
+  std::unique_ptr<exec::ThreadPool> pool;
+  if (workers > 0) pool = std::make_unique<exec::ThreadPool>(workers);
+  bench::WallTimer timer;
+  const auto results = attack::attack_all_components_parallel(sets, config_for, pool.get());
+  const double ms = timer.ms();
+  if (results.size() != kp.sk.params.n) {
+    std::fprintf(stderr, "attack returned %zu components\n", results.size());
+    std::exit(2);
+  }
+  return ms;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Harness harness("parallel_scaling", argc, argv);
+  const unsigned logn = argc > 1 ? static_cast<unsigned>(std::atoi(argv[1])) : 4;
+  const std::size_t traces = argc > 2 ? static_cast<std::size_t>(std::atoll(argv[2])) : 240;
+
+  ChaCha20Prng rng("scaling bench key");
+  const auto kp = falcon::keygen(logn, rng);
+  std::printf("parallel scaling, FALCON-%zu, %zu traces, %zu capture shards, hardware %zu\n",
+              kp.pk.params.n, traces, kShards, exec::ThreadPool::hardware_workers());
+  const std::string params = "logn=" + std::to_string(logn) +
+                             " traces=" + std::to_string(traces) +
+                             " shards=" + std::to_string(kShards);
+
+  // Attack input: one in-memory campaign shared by every worker count
+  // (the attack stage parallelism is independent of how capture ran).
+  sca::CampaignConfig camp;
+  camp.num_traces = traces;
+  camp.device.noise_sigma = 2.0;
+  camp.seed = 0xBE7C;
+  const auto sets = sca::run_full_campaign(kp.sk, camp);
+
+  std::printf("\n%-22s %10s %10s %10s\n", "surface", "workers", "wall_ms", "speedup");
+  double capture_serial_ms = 0.0;
+  double attack_serial_ms = 0.0;
+  for (const std::size_t workers : kWorkerCounts) {
+    const std::string path = "bench_scaling_" + std::to_string(workers) + ".fdtrace";
+    const double cap_ms = run_capture(kp.sk, traces, workers, path);
+    std::remove(path.c_str());
+    if (workers == 0) capture_serial_ms = cap_ms;
+    const double cap_speedup = capture_serial_ms / cap_ms;
+    const std::string label = workers == 0 ? "serial" : std::to_string(workers);
+    std::printf("%-22s %10s %10.1f %9.2fx\n", "sharded_capture", label.c_str(), cap_ms,
+                cap_speedup);
+    harness.report("capture_w" + label, params, cap_ms, cap_speedup, "x_vs_serial");
+  }
+  for (const std::size_t workers : kWorkerCounts) {
+    const double atk_ms = run_attack(kp, sets, workers);
+    if (workers == 0) attack_serial_ms = atk_ms;
+    const double atk_speedup = attack_serial_ms / atk_ms;
+    const std::string label = workers == 0 ? "serial" : std::to_string(workers);
+    std::printf("%-22s %10s %10.1f %9.2fx\n", "component_attack", label.c_str(), atk_ms,
+                atk_speedup);
+    harness.report("attack_w" + label, params, atk_ms, atk_speedup, "x_vs_serial");
+  }
+  return 0;
+}

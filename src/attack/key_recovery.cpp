@@ -1,8 +1,11 @@
 #include "attack/key_recovery.h"
 
 #include <cmath>
+#include <memory>
 #include <string>
 
+#include "attack/parallel_attack.h"
+#include "exec/thread_pool.h"
 #include "falcon/ntru_solve.h"
 #include "fft/fft.h"
 #include "obs/span.h"
@@ -63,73 +66,41 @@ std::optional<falcon::SecretKey> forge_key(std::span<const std::int32_t> f,
   return sk;
 }
 
-namespace {
+ComponentAttackConfig component_attack_config(const falcon::SecretKey& victim_sk,
+                                              const KeyRecoveryConfig& config, unsigned row,
+                                              std::size_t slot, bool imag) {
+  const std::size_t hn = victim_sk.params.n >> 1;
+  const std::size_t idx = slot + (imag ? hn : 0);
+  const auto& secret_row = row == 0 ? victim_sk.b01 : victim_sk.b11;
 
-// Attacks every component of one secret basis row (b01 for row 0, b11
-// for row 1) and returns the FFT-domain recovery plus diagnostics.
-struct RowComponents {
-  std::vector<Fpr> recovered;
-  std::vector<ComponentResult> results;
-  std::size_t correct = 0;
-};
-
-RowComponents attack_row_components(const falcon::KeyPair& victim,
-                                    const KeyRecoveryConfig& config, unsigned row) {
-  const std::size_t n = victim.sk.params.n;
-  const std::size_t hn = n >> 1;
-
-  sca::CampaignConfig camp;
-  camp.num_traces = config.num_traces;
-  camp.device = config.device;
-  camp.seed = config.seed;
-  camp.row = row;
-  std::vector<sca::TraceSet> trace_sets;
-  {
-    obs::Span phase("key_recovery.campaign");
-    trace_sets = sca::run_full_campaign(victim.sk, camp);
+  ComponentAttackConfig cac;
+  cac.extend_top_k = config.extend_top_k;
+  cac.obs_label = "slot" + std::to_string(slot) + (imag ? ".im" : ".re");
+  if (row == 1) {
+    // FFT(F) components are larger than FFT(f)'s: shift the
+    // exponent prior/window accordingly (|F_i| ~ a few hundred).
+    cac.exp_prior = 1035;
+    cac.exp_max = 1060;
   }
-  const auto& secret_row = row == 0 ? victim.sk.b01 : victim.sk.b11;
-
-  RowComponents rc;
-  rc.recovered.resize(n);
-  rc.results.resize(n);
-  for (std::size_t slot = 0; slot < hn; ++slot) {
-    for (const bool imag : {false, true}) {
-      const std::size_t idx = slot + (imag ? hn : 0);
-      const Fpr truth = secret_row[idx];
-
-      const ComponentDataset ds = build_component_dataset(trace_sets[slot], imag);
-      ComponentAttackConfig cac;
-      cac.extend_top_k = config.extend_top_k;
-      cac.obs_label = "slot" + std::to_string(slot) + (imag ? ".im" : ".re");
-      if (row == 1) {
-        // FFT(F) components are larger than FFT(f)'s: shift the
-        // exponent prior/window accordingly (|F_i| ~ a few hundred).
-        cac.exp_prior = 1035;
-        cac.exp_max = 1060;
-      }
-      if (config.adversarial_random > 0) {
-        const KnownOperand split = KnownOperand::from(truth);
-        cac.low_candidates = MantissaCandidates::adversarial(
-            split.y0, /*high=*/false, config.adversarial_random, config.seed ^ (idx * 17));
-        cac.high_candidates = MantissaCandidates::adversarial(
-            split.y1, /*high=*/true, config.adversarial_random, config.seed ^ (idx * 31 + 1));
-      }
-      rc.results[idx] = attack_component(ds, cac);
-      rc.recovered[idx] = Fpr::from_bits(rc.results[idx].bits);
-    }
+  if (config.adversarial_random > 0) {
+    const KnownOperand split = KnownOperand::from(secret_row[idx]);
+    cac.low_candidates = MantissaCandidates::adversarial(
+        split.y0, /*high=*/false, config.adversarial_random, config.seed ^ (idx * 17));
+    cac.high_candidates = MantissaCandidates::adversarial(
+        split.y1, /*high=*/true, config.adversarial_random, config.seed ^ (idx * 31 + 1));
   }
-  return rc;
+  return cac;
 }
+
+namespace {
 
 // Exponent-alias repair on a recovered FFT row (see DESIGN.md): greedy
 // descent first on the additive magnitude excess (wrong exponents blow
 // components up by 2^(+-k)), then on the integrality residual.
-void repair_row(RowComponents& rc, unsigned logn, double magnitude_limit) {
+void repair_row(std::vector<Fpr>& recovered, std::vector<ComponentResult>& results,
+                unsigned logn, double magnitude_limit) {
   obs::Span phase("key_recovery.repair");
   const std::size_t n = std::size_t{1} << logn;
-  auto& recovered = rc.recovered;
-  auto& results = rc.results;
 
   // Stage 1 metric: magnitude blowups (a wrong exponent scales its
   // component by 2^(+-k), pushing time-domain values far outside the
@@ -187,6 +158,29 @@ void repair_row(RowComponents& rc, unsigned logn, double magnitude_limit) {
 
 }  // namespace
 
+RowAssembly assemble_row(std::vector<ComponentResult>& results, unsigned logn, unsigned row) {
+  const std::size_t n = std::size_t{1} << logn;
+  RowAssembly out;
+  out.recovered.resize(n);
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    out.recovered[idx] = Fpr::from_bits(results[idx].bits);
+  }
+  // Row-1 (F) time-domain coefficients run into the low thousands, so
+  // the magnitude stage needs a wider legal window than row 0's f.
+  repair_row(out.recovered, results, logn, row == 0 ? 1024.0 : 4096.0);
+
+  std::vector<Fpr> time_domain(out.recovered);
+  {
+    obs::Span phase("key_recovery.invfft");
+    fft::ifft(time_domain, logn);
+  }
+  out.poly.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.poly[i] = static_cast<std::int32_t>(-fpr::fpr_rint(time_domain[i]));
+  }
+  return out;
+}
+
 RowRecoveryResult recover_row_poly(const falcon::KeyPair& victim,
                                    const KeyRecoveryConfig& config, unsigned row) {
   const unsigned logn = victim.sk.params.logn;
@@ -194,22 +188,35 @@ RowRecoveryResult recover_row_poly(const falcon::KeyPair& victim,
   const auto& secret_row = row == 0 ? victim.sk.b01 : victim.sk.b11;
   const auto& true_poly = row == 0 ? victim.sk.f : victim.sk.big_f;
 
-  RowComponents rc = attack_row_components(victim, config, row);
-  repair_row(rc, logn, row == 0 ? 1024.0 : 4096.0);
+  sca::CampaignConfig camp;
+  camp.num_traces = config.num_traces;
+  camp.device = config.device;
+  camp.seed = config.seed;
+  camp.row = row;
+  std::vector<sca::TraceSet> trace_sets;
+  {
+    obs::Span phase("key_recovery.campaign");
+    trace_sets = sca::run_full_campaign(victim.sk, camp);
+  }
+
+  // The per-component fan-out: bit-identical at any thread count (see
+  // parallel_attack.h), so `threads` is a pure wall-clock knob.
+  std::unique_ptr<exec::ThreadPool> pool;
+  if (config.threads > 1) pool = std::make_unique<exec::ThreadPool>(config.threads);
+  const auto config_for = [&](const ComponentIndex& ci) {
+    return component_attack_config(victim.sk, config, row, ci.slot, ci.imag);
+  };
+  std::vector<ComponentResult> results =
+      attack_all_components_parallel(trace_sets, config_for, pool.get());
+
+  RowAssembly assembled = assemble_row(results, logn, row);
 
   RowRecoveryResult out;
   out.components_total = n;
   for (std::size_t idx = 0; idx < n; ++idx) {
-    out.components_correct += rc.recovered[idx].bits() == secret_row[idx].bits();
+    out.components_correct += assembled.recovered[idx].bits() == secret_row[idx].bits();
   }
-  {
-    obs::Span phase("key_recovery.invfft");
-    fft::ifft(rc.recovered, logn);
-  }
-  out.poly.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    out.poly[i] = static_cast<std::int32_t>(-fpr::fpr_rint(rc.recovered[i]));
-  }
+  out.poly = std::move(assembled.poly);
   out.exact = std::equal(out.poly.begin(), out.poly.end(), true_poly.begin(), true_poly.end());
   return out;
 }

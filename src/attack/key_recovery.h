@@ -31,7 +31,32 @@ struct KeyRecoveryConfig {
   // 0 => exhaustive enumeration; otherwise adversarial candidate count.
   std::size_t adversarial_random = 150;
   std::uint64_t seed = 1;
+  // Worker threads for the per-component attack fan-out (src/exec).
+  // 1 runs the serial path; any value yields bit-identical results --
+  // components are independent and reduced in index order.
+  std::size_t threads = 1;
 };
+
+// The candidate-mode adversary's per-component attack config -- shared
+// by recover_key/recover_row_poly and the RecoveryPipeline so both
+// attack exactly the same hypothesis spaces. Pure function of
+// (victim key, config, row, component index): safe to call from worker
+// threads.
+[[nodiscard]] ComponentAttackConfig component_attack_config(const falcon::SecretKey& victim_sk,
+                                                            const KeyRecoveryConfig& config,
+                                                            unsigned row, std::size_t slot,
+                                                            bool imag);
+
+// Component results -> row polynomial: exponent-alias repair (greedy
+// descent on magnitude excess then integrality, see DESIGN.md), invFFT,
+// negate-and-round. `results` is in component-index order (re parts of
+// all slots, then im parts) and is updated in place by the repair.
+struct RowAssembly {
+  std::vector<fpr::Fpr> recovered;  // FFT-domain components, post-repair
+  std::vector<std::int32_t> poly;   // the integer row polynomial
+};
+[[nodiscard]] RowAssembly assemble_row(std::vector<ComponentResult>& results, unsigned logn,
+                                       unsigned row);
 
 struct KeyRecoveryResult {
   std::size_t components_total = 0;

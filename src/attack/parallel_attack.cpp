@@ -1,0 +1,107 @@
+#include "attack/parallel_attack.h"
+
+#include <mutex>
+#include <optional>
+
+#include "exec/parallel_for.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace fd::attack {
+
+std::vector<ComponentResult> attack_all_components_parallel(
+    const std::vector<sca::TraceSet>& sets, const ComponentConfigFn& config_for,
+    exec::ThreadPool* pool) {
+  obs::Span span("attack.all_components");
+  const std::size_t hn = sets.size();
+  const std::size_t n = hn * 2;
+  std::vector<ComponentResult> results(n);
+  // One component per chunk: component attacks are the coarse unit of
+  // work (seconds each at paper sizes), so finer chunking buys nothing
+  // and per-index chunks keep the static plan trivially balanced.
+  exec::parallel_for_chunks(pool, n, n, [&](exec::ChunkRange r, std::size_t) {
+    for (std::size_t idx = r.begin; idx < r.end; ++idx) {
+      const ComponentIndex ci = component_index(idx, hn);
+      const ComponentDataset ds = build_component_dataset(sets[ci.slot], ci.imag);
+      results[idx] = attack_component(ds, config_for(ci));
+    }
+  });
+  obs::MetricsRegistry::global().counter("attack.components").add(n);
+  return results;
+}
+
+bool attack_all_components_from_archive(const std::string& archive_path,
+                                        const ComponentConfigFn& config_for,
+                                        exec::ThreadPool* pool,
+                                        std::vector<ComponentResult>& out,
+                                        std::string* error) {
+  obs::Span span("attack.all_components.archive");
+  std::size_t hn = 0;
+  {
+    tracestore::ArchiveReader probe;
+    if (!probe.open(archive_path)) {
+      if (error != nullptr) *error = probe.error();
+      return false;
+    }
+    hn = probe.meta().num_slots;
+  }
+  const std::size_t n = hn * 2;
+  out.assign(n, ComponentResult{});
+  std::mutex err_mu;
+  std::string first_error;
+  exec::parallel_for_chunks(pool, n, n, [&](exec::ChunkRange r, std::size_t) {
+    for (std::size_t idx = r.begin; idx < r.end; ++idx) {
+      const ComponentIndex ci = component_index(idx, hn);
+      tracestore::ArchiveReader reader;  // private reader per task
+      if (!reader.open(archive_path)) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (first_error.empty()) first_error = reader.error();
+        continue;
+      }
+      if (!attack_component_from_archive(reader, ci.slot, ci.imag, config_for(ci),
+                                         out[idx])) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (first_error.empty()) {
+          first_error = "no records for slot " + std::to_string(ci.slot);
+        }
+      }
+    }
+  });
+  if (!first_error.empty()) {
+    if (error != nullptr) *error = first_error;
+    return false;
+  }
+  obs::MetricsRegistry::global().counter("attack.components").add(n);
+  return true;
+}
+
+bool run_cpa_streaming_many(const std::string& archive_path,
+                            std::span<const StreamingCpaSpec> specs, exec::ThreadPool* pool,
+                            std::vector<CpaEngine>& results, std::string* error) {
+  obs::Span span("attack.cpa_many");
+  std::vector<std::optional<CpaEngine>> slots(specs.size());
+  std::mutex err_mu;
+  std::string first_error;
+  exec::parallel_for_chunks(pool, specs.size(), specs.size(),
+                            [&](exec::ChunkRange r, std::size_t) {
+    for (std::size_t i = r.begin; i < r.end; ++i) {
+      tracestore::ArchiveReader reader;
+      if (!reader.open(archive_path)) {
+        std::lock_guard<std::mutex> lock(err_mu);
+        if (first_error.empty()) first_error = reader.error();
+        continue;
+      }
+      slots[i].emplace(run_cpa_streaming(reader, specs[i]));
+    }
+  });
+  if (!first_error.empty()) {
+    if (error != nullptr) *error = first_error;
+    return false;
+  }
+  results.clear();
+  results.reserve(specs.size());
+  for (auto& s : slots) results.push_back(std::move(*s));  // index order
+  return true;
+}
+
+}  // namespace fd::attack

@@ -1,0 +1,77 @@
+#pragma once
+// All-slot attack fan-out over the exec pool.
+//
+// The paper's cost model is embarrassingly parallel across the n/2
+// complex slots (each component's extend-and-prune pipeline touches
+// only its own slot's traces), so the parallel surface here is
+// *across* components and CPA passes, never inside one: each task runs
+// the unmodified serial attack on one component (or one streamed CPA
+// pass on its own ArchiveReader) and writes the result into its own
+// index of a pre-sized output vector. Reduction is "collect in index
+// order", which makes every function below bit-identical to its serial
+// loop at any worker count -- the determinism pin of
+// tests/test_exec.cpp.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "attack/extend_prune.h"
+#include "attack/streaming_cpa.h"
+#include "exec/thread_pool.h"
+#include "sca/campaign.h"
+
+namespace fd::attack {
+
+// Component index convention (matches falcon::SecretKey::b01 layout):
+// idx in [0, n) maps to slot = idx % (n/2), imaginary part iff
+// idx >= n/2.
+struct ComponentIndex {
+  std::size_t idx = 0;
+  std::size_t slot = 0;
+  bool imag = false;
+};
+[[nodiscard]] inline ComponentIndex component_index(std::size_t idx, std::size_t hn) {
+  return {idx, idx % hn, idx >= hn};
+}
+
+// Builds the attack config of one component; called from worker
+// threads, so it must be a pure function of the index (the adversarial
+// candidate generators already are: their RNG is seeded per index).
+using ComponentConfigFn = std::function<ComponentAttackConfig(const ComponentIndex&)>;
+
+// Attacks all n = 2 * hn components of `sets` (hn slots, re + im each)
+// and returns results in component-index order. Null pool -> the same
+// loop runs serially; results are identical either way.
+[[nodiscard]] std::vector<ComponentResult> attack_all_components_parallel(
+    const std::vector<sca::TraceSet>& sets, const ComponentConfigFn& config_for,
+    exec::ThreadPool* pool);
+
+// Serial twin, spelled out for callers that want the intent explicit.
+[[nodiscard]] inline std::vector<ComponentResult> attack_all_components_serial(
+    const std::vector<sca::TraceSet>& sets, const ComponentConfigFn& config_for) {
+  return attack_all_components_parallel(sets, config_for, nullptr);
+}
+
+// Archive-backed variant: every task opens its OWN ArchiveReader on
+// `archive_path` (readers are single-threaded objects) and loads just
+// its slot's records, so peak memory is one slot per in-flight task
+// instead of the whole campaign.
+[[nodiscard]] bool attack_all_components_from_archive(const std::string& archive_path,
+                                                      const ComponentConfigFn& config_for,
+                                                      exec::ThreadPool* pool,
+                                                      std::vector<ComponentResult>& out,
+                                                      std::string* error = nullptr);
+
+// Fans independent streamed CPA passes across the pool, one private
+// ArchiveReader per task. results[i] is the engine of specs[i]; each
+// pass is the unsplit serial fold (bit-identical to run_cpa_streaming
+// on the same spec) -- parallelism is across passes only.
+[[nodiscard]] bool run_cpa_streaming_many(const std::string& archive_path,
+                                          std::span<const StreamingCpaSpec> specs,
+                                          exec::ThreadPool* pool,
+                                          std::vector<CpaEngine>& results,
+                                          std::string* error = nullptr);
+
+}  // namespace fd::attack

@@ -1,0 +1,92 @@
+#include "attack/recovery_pipeline.h"
+
+#include <cstdio>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "attack/parallel_attack.h"
+#include "common/rng.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace fd::attack {
+
+RecoveryPipelineResult run_recovery_pipeline(const falcon::KeyPair& victim,
+                                             const RecoveryPipelineConfig& config) {
+  obs::Span span("attack.pipeline");
+  RecoveryPipelineResult out;
+  if (config.archive_path.empty()) {
+    out.error = "recovery pipeline needs an archive_path";
+    return out;
+  }
+  const unsigned logn = victim.sk.params.logn;
+  const std::size_t n = victim.sk.params.n;
+  const KeyRecoveryConfig& atk = config.attack;
+
+  std::unique_ptr<exec::ThreadPool> pool;
+  if (atk.threads > 1) pool = std::make_unique<exec::ThreadPool>(atk.threads);
+
+  std::vector<ComponentResult> results;
+  RowAssembly assembled;
+
+  exec::JobGraph graph;
+  const auto capture = graph.add("capture", [&] {
+    sca::ShardedCampaignConfig camp;
+    camp.base.num_traces = atk.num_traces;
+    camp.base.device = atk.device;
+    camp.base.seed = atk.seed;
+    camp.base.row = 0;
+    camp.num_shards = config.capture_shards;
+    const auto res =
+        sca::run_campaign_sharded(victim.sk, camp, config.archive_path, pool.get());
+    if (!res.ok) throw std::runtime_error("capture failed: " + res.error);
+    out.captured_records = res.records;
+  });
+  const auto attack = graph.add("attack", [&] {
+    const auto config_for = [&](const ComponentIndex& ci) {
+      return component_attack_config(victim.sk, atk, /*row=*/0, ci.slot, ci.imag);
+    };
+    std::string err;
+    if (!attack_all_components_from_archive(config.archive_path, config_for, pool.get(),
+                                            results, &err)) {
+      throw std::runtime_error("component attack failed: " + err);
+    }
+  }, {capture});
+  const auto assemble = graph.add("assemble", [&] {
+    assembled = assemble_row(results, logn, /*row=*/0);
+    const auto& secret_row = victim.sk.b01;
+    out.recovery.components_total = n;
+    for (std::size_t idx = 0; idx < n; ++idx) {
+      out.recovery.components_correct +=
+          assembled.recovered[idx].bits() == secret_row[idx].bits();
+    }
+    out.recovery.recovered_f = assembled.poly;
+    out.recovery.f_exact = std::equal(assembled.poly.begin(), assembled.poly.end(),
+                                      victim.sk.f.begin(), victim.sk.f.end());
+  }, {attack});
+  graph.add("forge", [&] {
+    auto forged = forge_key(out.recovery.recovered_f, victim.pk);
+    if (!forged) return;  // attack failed to land; not a pipeline error
+    out.recovery.ntru_solved = true;
+    out.recovery.derived_g = forged->g;
+    ChaCha20Prng rng(atk.seed ^ 0xF04C3);
+    const auto sig = falcon::sign(*forged, "forged by the falcon-down adversary", rng);
+    out.recovery.forgery_verified =
+        falcon::verify(victim.pk, "forged by the falcon-down adversary", sig);
+  }, {assemble});
+
+  try {
+    out.stages = graph.run(pool.get());
+    out.ok = true;
+  } catch (const std::exception& e) {
+    out.error = e.what();
+  }
+  if (!config.keep_archive) std::remove(config.archive_path.c_str());
+  obs::MetricsRegistry::global()
+      .counter("attack.pipeline.runs")
+      .add(1);
+  return out;
+}
+
+}  // namespace fd::attack

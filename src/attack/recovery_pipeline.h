@@ -1,0 +1,47 @@
+#pragma once
+// End-to-end recovery as a staged job graph over the exec pool.
+//
+// The pipeline is the attack of key_recovery.h restructured for
+// production-scale runs: capture streams to a .fdtrace archive in
+// parallel shards (bounded memory), the per-component attack fans out
+// across the pool reading that archive, and assembly/forging complete
+// the key. Stages are a linear exec::JobGraph -- each stage runs inline
+// while its *inside* (shards, components) uses the pool -- and every
+// stage's wall time is reported, which is what bench_parallel_scaling
+// measures.
+//
+// Determinism: the result is a pure function of (victim key, config) --
+// the worker count changes wall time only. The capture shard count IS
+// part of the config (different shard seeds => different traces), the
+// thread count is not.
+
+#include <string>
+#include <vector>
+
+#include "attack/key_recovery.h"
+#include "exec/job_graph.h"
+
+namespace fd::attack {
+
+struct RecoveryPipelineConfig {
+  KeyRecoveryConfig attack;       // attack.threads sizes the shared pool
+  std::size_t capture_shards = 1; // sharded-capture fan-out (seed plan)
+  std::string archive_path;       // where the campaign archive lives
+  bool keep_archive = false;      // leave the .fdtrace behind for reuse
+};
+
+struct RecoveryPipelineResult {
+  KeyRecoveryResult recovery;
+  std::vector<exec::JobGraph::JobReport> stages;  // capture/attack/assemble/forge
+  std::size_t captured_records = 0;
+  bool ok = false;
+  std::string error;
+};
+
+// Runs capture -> component attack -> assemble -> forge against the
+// victim. Recovers row 0 (f); g/F/G come from the public machinery as
+// in recover_key.
+[[nodiscard]] RecoveryPipelineResult run_recovery_pipeline(const falcon::KeyPair& victim,
+                                                           const RecoveryPipelineConfig& config);
+
+}  // namespace fd::attack

@@ -1,0 +1,75 @@
+#include "exec/job_graph.h"
+
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+
+#include "exec/parallel_for.h"
+#include "obs/span.h"
+
+namespace fd::exec {
+
+JobGraph::JobId JobGraph::add(std::string name, std::function<void()> fn,
+                              std::vector<JobId> deps) {
+  for (const JobId d : deps) {
+    if (d >= jobs_.size()) {
+      throw std::invalid_argument("JobGraph: dependency on a job not yet added");
+    }
+  }
+  jobs_.push_back({std::move(name), std::move(fn), std::move(deps)});
+  return jobs_.size() - 1;
+}
+
+std::vector<JobGraph::JobReport> JobGraph::run(ThreadPool* pool) {
+  std::vector<JobReport> reports(jobs_.size());
+  for (std::size_t i = 0; i < jobs_.size(); ++i) reports[i].name = jobs_[i].name;
+
+  std::vector<bool> done(jobs_.size(), false);
+  std::vector<std::exception_ptr> errors(jobs_.size());
+  std::size_t completed = 0;
+  bool failed = false;
+
+  const auto run_one = [&](JobId id) {
+    obs::Span span("exec.job." + jobs_[id].name);
+    const auto t0 = std::chrono::steady_clock::now();
+    try {
+      jobs_[id].fn();
+    } catch (...) {
+      errors[id] = std::current_exception();
+    }
+    reports[id].wall_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
+            .count();
+    reports[id].ran = true;
+  };
+
+  while (completed < jobs_.size() && !failed) {
+    // Ready set in insertion order -- the deterministic level.
+    std::vector<JobId> level;
+    for (JobId id = 0; id < jobs_.size(); ++id) {
+      if (done[id]) continue;
+      bool ready = true;
+      for (const JobId d : jobs_[id].deps) ready = ready && done[d];
+      if (ready) level.push_back(id);
+    }
+    if (level.empty()) break;  // unreachable with forward-only edges
+
+    if (level.size() == 1) {
+      run_one(level[0]);  // inline: keep the pool for the stage's insides
+    } else {
+      parallel_for(pool, level.size(), [&](std::size_t i) { run_one(level[i]); });
+    }
+    for (const JobId id : level) {
+      done[id] = true;
+      ++completed;
+      if (errors[id]) failed = true;
+    }
+  }
+
+  for (const auto& err : errors) {
+    if (err) std::rethrow_exception(err);
+  }
+  return reports;
+}
+
+}  // namespace fd::exec

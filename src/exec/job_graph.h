@@ -1,0 +1,56 @@
+#pragma once
+// Deterministic staged job graph.
+//
+// A JobGraph is a DAG of named jobs; run() executes it level-
+// synchronously: repeatedly collect every job whose dependencies are
+// done (in insertion order -- the deterministic tiebreak), run that
+// level, and barrier before the next. A level with several jobs fans
+// out across the pool; a level with exactly one job runs inline on the
+// calling thread, so a linear pipeline (capture -> attack -> solve)
+// keeps the pool free for the *inside* of each stage -- which is where
+// the parallelism of this attack actually lives (shards and slots, not
+// stages). Nested use is safe either way: parallel_for degrades to its
+// serial path on pool workers.
+//
+// run() reports per-job wall time in insertion order and rethrows the
+// first failing job's exception (insertion order again); jobs
+// downstream of a failure are not started.
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exec/thread_pool.h"
+
+namespace fd::exec {
+
+class JobGraph {
+ public:
+  using JobId = std::size_t;
+
+  struct JobReport {
+    std::string name;
+    double wall_ms = 0.0;
+    bool ran = false;  // false: skipped because an upstream job failed
+  };
+
+  // Adds a job depending on `deps` (ids from earlier add() calls --
+  // forward edges only, so the graph is acyclic by construction).
+  JobId add(std::string name, std::function<void()> fn, std::vector<JobId> deps = {});
+
+  // Executes the graph; null pool runs every level inline.
+  std::vector<JobReport> run(ThreadPool* pool);
+
+  [[nodiscard]] std::size_t size() const { return jobs_.size(); }
+
+ private:
+  struct Job {
+    std::string name;
+    std::function<void()> fn;
+    std::vector<JobId> deps;
+  };
+  std::vector<Job> jobs_;
+};
+
+}  // namespace fd::exec

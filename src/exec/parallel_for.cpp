@@ -1,0 +1,80 @@
+#include "exec/parallel_for.h"
+
+#include <algorithm>
+#include <condition_variable>
+#include <mutex>
+
+namespace fd::exec {
+
+std::vector<ChunkRange> static_chunks(std::size_t count, std::size_t chunks_hint) {
+  std::vector<ChunkRange> plan;
+  if (count == 0) return plan;
+  const std::size_t k = std::min(count, std::max<std::size_t>(1, chunks_hint));
+  plan.reserve(k);
+  const std::size_t base = count / k;
+  const std::size_t rem = count % k;
+  std::size_t at = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    const std::size_t len = base + (c < rem ? 1 : 0);
+    plan.push_back({at, at + len});
+    at += len;
+  }
+  return plan;
+}
+
+void parallel_for_chunks(ThreadPool* pool, std::size_t count, std::size_t chunks_hint,
+                         const std::function<void(ChunkRange, std::size_t)>& body) {
+  const std::size_t hint =
+      chunks_hint == 0 ? (pool != nullptr ? pool->num_workers() : 1) : chunks_hint;
+  const auto plan = static_chunks(count, hint);
+  if (plan.empty()) return;
+
+  // Serial path: no pool, a 1-worker pool, one chunk, or nested inside
+  // a pool worker. Same chunk loop, same order, same results.
+  if (pool == nullptr || pool->num_workers() <= 1 || plan.size() == 1 ||
+      ThreadPool::on_worker_thread()) {
+    for (std::size_t c = 0; c < plan.size(); ++c) body(plan[c], c);
+    return;
+  }
+
+  struct Barrier {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::size_t remaining;
+    // First failure in *chunk-index* order, so the exception a caller
+    // sees does not depend on completion timing.
+    std::vector<std::exception_ptr> errors;
+  } bar;
+  bar.remaining = plan.size();
+  bar.errors.resize(plan.size());
+
+  for (std::size_t c = 0; c < plan.size(); ++c) {
+    pool->submit([&bar, &body, range = plan[c], c] {
+      std::exception_ptr err;
+      try {
+        body(range, c);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      std::lock_guard<std::mutex> lock(bar.mu);
+      bar.errors[c] = err;
+      if (--bar.remaining == 0) bar.cv.notify_all();
+    });
+  }
+  {
+    std::unique_lock<std::mutex> lock(bar.mu);
+    bar.cv.wait(lock, [&bar] { return bar.remaining == 0; });
+  }
+  for (const auto& err : bar.errors) {
+    if (err) std::rethrow_exception(err);
+  }
+}
+
+void parallel_for(ThreadPool* pool, std::size_t count,
+                  const std::function<void(std::size_t)>& body) {
+  parallel_for_chunks(pool, count, 0, [&](ChunkRange r, std::size_t) {
+    for (std::size_t i = r.begin; i < r.end; ++i) body(i);
+  });
+}
+
+}  // namespace fd::exec

@@ -1,0 +1,37 @@
+#pragma once
+// Deterministic seed splitting for parallel work.
+//
+// Every parallel decomposition in this repo derives per-shard randomness
+// from (root seed, shard index) -- never from thread ids, scheduling
+// order, or wall clocks -- so a run's results are a pure function of the
+// seed and the shard plan, identical at any worker count. The derivation
+// is a SplitMix64-style finalizer over the pair: cheap, stateless, and
+// well-mixed enough that sibling lanes seed independent ChaCha20 streams
+// (the PRNG re-expands the 64-bit value through SHAKE256 anyway).
+//
+// Convention: lane 0 is NOT the root seed itself. A sharded campaign
+// with one shard is a different experiment from an unsharded campaign,
+// and giving lane 0 a distinct stream keeps accidental reuse of the
+// root stream (already consumed by the serial path) impossible.
+
+#include <cstdint>
+
+namespace fd::exec {
+
+// SplitMix64 finalizer (Vigna); full-period bijection on the mixed word.
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) {
+  z += 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+// Child seed for `lane` under `seed`. Distinct lanes give distinct
+// seeds (mix64 is a bijection applied to distinct inputs for any fixed
+// seed), and the same (seed, lane) pair gives the same child forever --
+// the determinism contract of src/exec.
+[[nodiscard]] constexpr std::uint64_t split_seed(std::uint64_t seed, std::uint64_t lane) {
+  return mix64(mix64(seed) ^ mix64(lane + 1));
+}
+
+}  // namespace fd::exec

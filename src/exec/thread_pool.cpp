@@ -1,0 +1,81 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+
+namespace fd::exec {
+
+namespace {
+// Set for the lifetime of any pool worker thread; submit() and
+// parallel_for use it to detect (and serialize) nested parallelism.
+thread_local bool t_on_worker = false;
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t num_workers, std::size_t queue_capacity) {
+  const std::size_t n = std::max<std::size_t>(1, num_workers);
+  capacity_ = queue_capacity == 0 ? 4 * n : queue_capacity;
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_work_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  if (t_on_worker) {
+    // A worker producing into its own (or any) full pool could deadlock
+    // waiting for capacity only workers can free; run inline instead.
+    task();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_space_.wait(lock, [this] { return queue_.size() < capacity_; });
+    queue_.push_back(std::move(task));
+  }
+  cv_work_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+bool ThreadPool::on_worker_thread() { return t_on_worker; }
+
+std::size_t ThreadPool::hardware_workers() {
+  return std::max(1U, std::thread::hardware_concurrency());
+}
+
+void ThreadPool::worker_loop() {
+  t_on_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_work_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain the queue even when stopping: shutdown completes the work
+      // already submitted rather than dropping it on the floor.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    cv_space_.notify_one();
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace fd::exec

@@ -1,0 +1,74 @@
+#pragma once
+// Fixed-size worker pool with a bounded task queue and clean shutdown.
+//
+// The pool is an execution resource, not a determinism mechanism: tasks
+// may finish in any order, so everything layered on top (parallel_for,
+// sharded capture, the all-slot attack) writes results into
+// caller-owned, index-addressed storage and reduces in index order.
+// Nothing in this repo reads a result "as soon as it is ready".
+//
+// Backpressure: submit() blocks once `queue_capacity` tasks are
+// pending, so a producer streaming millions of shard jobs cannot grow
+// the queue unboundedly. Submitting from a worker thread runs the task
+// inline instead of enqueueing -- a worker blocked on a full queue that
+// only its own pool could drain would deadlock otherwise, and inline
+// execution also makes nested parallel_for calls safe (they degrade to
+// the serial path, see parallel_for.h).
+//
+// Shutdown: the destructor drains every task already submitted, then
+// joins all workers. Tasks must not throw -- wrap fallible work (as
+// parallel_for does) and carry errors out by value.
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fd::exec {
+
+class ThreadPool {
+ public:
+  // `num_workers` is clamped to at least 1; `queue_capacity` 0 selects
+  // the default of 4 tasks per worker.
+  explicit ThreadPool(std::size_t num_workers, std::size_t queue_capacity = 0);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Enqueues `task`; blocks while the queue is at capacity. Called from
+  // one of this process's pool workers (any pool), the task runs inline
+  // on the calling thread instead.
+  void submit(std::function<void()> task);
+
+  // Blocks until every submitted task has finished and the queue is
+  // empty. New submissions during the wait extend it.
+  void wait_idle();
+
+  [[nodiscard]] std::size_t num_workers() const { return workers_.size(); }
+  [[nodiscard]] std::size_t queue_capacity() const { return capacity_; }
+
+  // True on a thread owned by any ThreadPool in this process.
+  [[nodiscard]] static bool on_worker_thread();
+
+  // max(1, std::thread::hardware_concurrency()) -- the --threads=0
+  // convention of the CLIs ("use the whole machine").
+  [[nodiscard]] static std::size_t hardware_workers();
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_work_;   // queue became non-empty / stopping
+  std::condition_variable cv_space_;  // queue dropped below capacity
+  std::condition_variable cv_idle_;   // queue empty and no task running
+  std::deque<std::function<void()>> queue_;
+  std::size_t capacity_ = 0;
+  std::size_t active_ = 0;  // tasks currently executing
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace fd::exec

@@ -57,6 +57,14 @@ std::uint64_t Histogram::bucket_count(std::size_t bucket) const {
   std::lock_guard<std::mutex> lock(mu_);
   return bucket < kHistogramBuckets ? buckets_[bucket] : 0;
 }
+void Histogram::snapshot_into(HistogramView& view) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  view.count = count_;
+  view.sum = sum_;
+  view.min = min_;
+  view.max = max_;
+  view.buckets = buckets_;
+}
 void Histogram::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   count_ = 0;
@@ -104,11 +112,7 @@ RegistrySnapshot MetricsRegistry::snapshot() const {
   for (const auto& [name, h] : histograms_) {
     HistogramView view;
     view.name = name;
-    view.count = h->count();
-    view.sum = h->sum();
-    view.min = h->min();
-    view.max = h->max();
-    for (std::size_t i = 0; i < kHistogramBuckets; ++i) view.buckets[i] = h->bucket_count(i);
+    h->snapshot_into(view);
     snap.histograms.push_back(std::move(view));
   }
   return snap;

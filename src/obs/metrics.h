@@ -86,6 +86,10 @@ class Histogram {
   [[nodiscard]] double min() const;  // 0 when empty
   [[nodiscard]] double max() const;
   [[nodiscard]] std::uint64_t bucket_count(std::size_t bucket) const;
+  // Consistent copy of all stats under one lock -- the accessors above
+  // each lock separately, so composing them during concurrent record()
+  // calls can tear (count from one instant, sum from another).
+  void snapshot_into(HistogramView& view) const;
   void reset();
 
  private:
@@ -146,6 +150,7 @@ class Histogram {
   [[nodiscard]] double min() const { return 0.0; }
   [[nodiscard]] double max() const { return 0.0; }
   [[nodiscard]] std::uint64_t bucket_count(std::size_t) const { return 0; }
+  void snapshot_into(HistogramView&) const {}
   void reset() {}
 };
 

@@ -58,6 +58,16 @@ void CollectingSink::record(const Event& ev) {
   events_.push_back(ev);
 }
 
+std::vector<Event> CollectingSink::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void CollectingSink::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
 #if FD_OBS_ENABLED
 
 namespace {

@@ -65,14 +65,18 @@ class ConsoleSink final : public TelemetrySink {
 };
 
 // In-memory capture for tests and for fd-report-style post-processing.
+// record/clear/snapshot are safe to call concurrently; events() returns
+// an unlocked reference and is only valid once every emitting thread
+// has been joined (the usual single-threaded-test shape).
 class CollectingSink final : public TelemetrySink {
  public:
   void record(const Event& ev) override;
   [[nodiscard]] const std::vector<Event>& events() const { return events_; }
-  void clear() { events_.clear(); }
+  [[nodiscard]] std::vector<Event> snapshot() const;
+  void clear();
 
  private:
-  std::mutex mu_;
+  mutable std::mutex mu_;
   std::vector<Event> events_;
 };
 
@@ -130,7 +134,11 @@ class EventBuilder {
     return *this;
   }
   void emit() {
-    if (active_ && sink() != nullptr) sink()->record(ev_);
+    // Single load: the sink may be swapped between a check and a call,
+    // so grab it once and use that pointer (the RAII installer keeps
+    // sinks alive past their uninstall for exactly this reason).
+    if (!active_) return;
+    if (TelemetrySink* s = sink(); s != nullptr) s->record(ev_);
   }
 
  private:

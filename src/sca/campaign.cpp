@@ -1,8 +1,14 @@
 #include "sca/campaign.h"
 
+#include <atomic>
+#include <cstdio>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "common/rng.h"
+#include "exec/parallel_for.h"
+#include "exec/seed_split.h"
 #include "falcon/sign.h"
 #include "fft/fft.h"
 #include "obs/metrics.h"
@@ -240,6 +246,90 @@ ArchiveCampaignResult run_campaign_to_archive(const falcon::SecretKey& sk,
     return out;
   }
   telemetry.finish(out.queries, out.records);
+  out.ok = true;
+  return out;
+}
+
+ShardedCampaignResult run_campaign_sharded(const falcon::SecretKey& sk,
+                                           const ShardedCampaignConfig& config,
+                                           const std::string& path, exec::ThreadPool* pool,
+                                           std::size_t traces_per_chunk) {
+  ShardedCampaignResult out;
+  if (config.base.num_traces == 0) {
+    out.error = "sharded campaign needs at least one query";
+    return out;
+  }
+  const auto plan = exec::static_chunks(config.base.num_traces,
+                                        std::max<std::size_t>(1, config.num_shards));
+  out.shards = plan.size();
+
+  obs::Span span("sca.campaign.sharded");
+  // Campaign-global progress: shard-local callbacks report deltas into a
+  // shared counter, and the user callback fires under a lock with the
+  // aggregate count. Invocation order across shards is scheduler noise
+  // (observability only -- captured data never depends on it).
+  struct Progress {
+    std::mutex mu;
+    std::atomic<std::size_t> done{0};
+  };
+  auto progress = std::make_shared<Progress>();
+
+  std::vector<ArchiveCampaignResult> shard_results(plan.size());
+  std::vector<std::string> shard_paths(plan.size());
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    shard_paths[i] = path + ".shard" + std::to_string(i);
+  }
+
+  exec::parallel_for(pool, plan.size(), [&](std::size_t i) {
+    CampaignConfig shard_cfg = config.base;
+    shard_cfg.num_traces = plan[i].size();
+    shard_cfg.seed = exec::split_seed(config.base.seed, i);
+    if (config.base.progress) {
+      const std::size_t total = config.base.num_traces;
+      auto last = std::make_shared<std::size_t>(0);
+      const auto user = config.base.progress;
+      shard_cfg.progress = [progress, last, total, user](std::size_t done, std::size_t) {
+        const std::size_t global =
+            progress->done.fetch_add(done - *last, std::memory_order_relaxed) +
+            (done - *last);
+        *last = done;
+        std::lock_guard<std::mutex> lock(progress->mu);
+        user(global, total);
+      };
+    }
+    shard_results[i] = run_campaign_to_archive(sk, shard_cfg, shard_paths[i], traces_per_chunk);
+  });
+
+  const auto cleanup = [&] {
+    if (config.keep_shards) return;
+    for (const auto& p : shard_paths) std::remove(p.c_str());
+  };
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    if (!shard_results[i].ok) {
+      out.error = "shard " + std::to_string(i) + ": " + shard_results[i].error;
+      cleanup();
+      return out;
+    }
+    out.queries += shard_results[i].queries;
+    out.records += shard_results[i].records;
+  }
+
+  // Merge in shard-index order -- the deterministic reduction. The
+  // barrier above guarantees every shard file is complete first.
+  std::string merge_error;
+  if (!tracestore::merge_archives(shard_paths, path, &merge_error)) {
+    out.error = "merge: " + merge_error;
+    cleanup();
+    return out;
+  }
+  cleanup();
+  if (config.keep_shards) out.shard_paths = std::move(shard_paths);
+  obs::event("sca.campaign.sharded")
+      .with("shards", out.shards)
+      .with("queries", out.queries)
+      .with("records", out.records)
+      .with("wall_us", span.elapsed_us())
+      .emit();
   out.ok = true;
   return out;
 }

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "exec/thread_pool.h"
 #include "falcon/keys.h"
 #include "falcon/sign.h"
 #include "fpr/fpr.h"
@@ -92,6 +93,47 @@ struct ArchiveCampaignResult {
 [[nodiscard]] ArchiveCampaignResult run_campaign_to_archive(
     const falcon::SecretKey& sk, const CampaignConfig& config, const std::string& path,
     std::size_t traces_per_chunk = tracestore::kDefaultTracesPerChunk);
+
+// --- sharded capture (src/exec) -------------------------------------------
+//
+// Parallel capture with a deterministic contract: the campaign's
+// `num_traces` queries are cut into `num_shards` contiguous ranges, and
+// shard i runs `run_campaign_to_archive` under the derived seed
+// exec::split_seed(config.seed, i) -- an independent victim/device
+// randomness stream per shard, fixed by (seed, shard index) alone.
+// Shards execute on the pool in any order; the final archive is
+// `tracestore::merge_archives` over the shard files in shard-index
+// order, so its bytes are a pure function of (key, config, num_shards)
+// -- identical at ANY worker count, including the serial pool-less
+// path. tests/test_exec.cpp pins this byte-for-byte at 1, 2, and 7
+// workers.
+//
+// Note the shard count, not the worker count, is part of the
+// experiment's identity: resizing the pool never changes the data,
+// changing num_shards deliberately does (different RNG streams).
+
+struct ShardedCampaignConfig {
+  CampaignConfig base;          // base.seed is the root seed of the shard tree
+  std::size_t num_shards = 1;   // fixed shard plan (capped at base.num_traces)
+  bool keep_shards = false;     // leave <path>.shard<i> files behind after the merge
+};
+
+struct ShardedCampaignResult {
+  std::size_t queries = 0;   // signing runs captured across all shards
+  std::size_t records = 0;   // (query, slot) windows written
+  std::size_t shards = 0;
+  std::vector<std::string> shard_paths;  // populated when keep_shards
+  bool ok = false;
+  std::string error;
+};
+
+// Runs the sharded campaign on `pool` (null -> serial, same results)
+// and merges into `path`. Progress callbacks of `config.base` fire with
+// campaign-global query counts; under a real pool they arrive from
+// worker threads (the obs layer and the callback must be thread-safe).
+[[nodiscard]] ShardedCampaignResult run_campaign_sharded(
+    const falcon::SecretKey& sk, const ShardedCampaignConfig& config, const std::string& path,
+    exec::ThreadPool* pool, std::size_t traces_per_chunk = tracestore::kDefaultTracesPerChunk);
 
 // Adversary-side reload: reconstructs the in-memory TraceSet of one
 // slot from an archive (rewinds, then filters the stream). Memory is

@@ -4,6 +4,7 @@
 #include <array>
 #include <bit>
 #include <cstring>
+#include <memory>
 
 #include "obs/metrics.h"
 
@@ -426,6 +427,73 @@ bool merge_archives(std::span<const std::string> inputs, const std::string& out_
     index_base += query_counts[i];
   }
   if (!writer.close()) return fail(writer.error());
+  return true;
+}
+
+bool split_archive(const std::string& in_path, const std::string& out_prefix,
+                   std::size_t num_shards, std::vector<std::string>* out_paths,
+                   std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (num_shards == 0) return fail("split needs at least one shard");
+
+  // Pass 1: total signing queries (max index + 1).
+  std::uint64_t queries = 0;
+  {
+    ArchiveReader reader;
+    if (!reader.open(in_path)) return fail(in_path + ": " + reader.error());
+    TraceRecord rec;
+    while (reader.next(rec)) {
+      queries = std::max(queries, static_cast<std::uint64_t>(rec.index) + 1);
+    }
+    if (queries == 0) return fail(in_path + ": no records to split");
+  }
+
+  // Contiguous leading-heavy ranges: the first (queries % k) shards get
+  // one extra query, mirroring exec::static_chunks (the format layer
+  // does not link src/exec, so the plan is restated here).
+  const std::size_t k = static_cast<std::size_t>(
+      std::min<std::uint64_t>(queries, static_cast<std::uint64_t>(num_shards)));
+  const std::uint64_t base_size = queries / k;
+  const std::uint64_t remainder = queries % k;
+  std::vector<std::uint64_t> range_begin(k + 1, 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    range_begin[i + 1] = range_begin[i] + base_size + (i < remainder ? 1 : 0);
+  }
+
+  ArchiveReader reader;
+  if (!reader.open(in_path)) return fail(in_path + ": " + reader.error());
+  ArchiveMeta shard_meta = reader.meta();
+  shard_meta.flags &= ~kFlagMerged;
+
+  std::vector<std::unique_ptr<ArchiveWriter>> writers(k);
+  std::vector<std::string> paths(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    paths[i] = out_prefix + ".shard" + std::to_string(i);
+    writers[i] = std::make_unique<ArchiveWriter>();
+    if (!writers[i]->open(paths[i], shard_meta)) {
+      return fail(paths[i] + ": " + writers[i]->error());
+    }
+  }
+
+  // Pass 2: route every record to the shard owning its query range,
+  // re-based to that range's origin. One streamed pass; memory is one
+  // pending chunk per shard.
+  TraceRecord rec;
+  while (reader.next(rec)) {
+    const std::uint64_t q = rec.index;
+    const std::size_t shard =
+        static_cast<std::size_t>(std::upper_bound(range_begin.begin(), range_begin.end(), q) -
+                                 range_begin.begin()) - 1;
+    rec.index = static_cast<std::uint32_t>(q - range_begin[shard]);
+    if (!writers[shard]->append(rec)) return fail(paths[shard] + ": " + writers[shard]->error());
+  }
+  for (std::size_t i = 0; i < k; ++i) {
+    if (!writers[i]->close()) return fail(paths[i] + ": " + writers[i]->error());
+  }
+  if (out_paths != nullptr) *out_paths = std::move(paths);
   return true;
 }
 

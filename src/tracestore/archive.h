@@ -209,4 +209,17 @@ struct VerifyReport {
                                   const std::string& out_path,
                                   std::string* error = nullptr);
 
+// Inverse of merge_archives: cuts one archive into `num_shards` shards
+// "<out_prefix>.shard<i>" along contiguous signing-query ranges (the
+// same leading-heavy plan exec::static_chunks uses, so split and
+// sharded capture agree on shard boundaries). Each shard's indices are
+// re-based to start at 0 and its kFlagMerged bit is cleared, so for a
+// query-ordered archive merge_archives(split_archive(A)) reproduces A's
+// record stream exactly. num_shards is capped at the query count.
+// `out_paths`, when non-null, receives the shard files written.
+[[nodiscard]] bool split_archive(const std::string& in_path, const std::string& out_prefix,
+                                 std::size_t num_shards,
+                                 std::vector<std::string>* out_paths = nullptr,
+                                 std::string* error = nullptr);
+
 }  // namespace fd::tracestore

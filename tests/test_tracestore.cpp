@@ -309,5 +309,83 @@ TEST(Merge, IncompatibleShardsRejected) {
   EXPECT_NE(error.find("incompatible"), std::string::npos);
 }
 
+// Reads every record of an archive in stream order.
+std::vector<TraceRecord> read_all(const std::string& path) {
+  std::vector<TraceRecord> recs;
+  ArchiveReader reader;
+  EXPECT_TRUE(reader.open(path)) << reader.error();
+  TraceRecord rec;
+  while (reader.next(rec)) recs.push_back(rec);
+  EXPECT_TRUE(reader.stats().clean());
+  return recs;
+}
+
+void expect_same_records(const std::vector<TraceRecord>& a, const std::vector<TraceRecord>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].slot, b[i].slot) << "record " << i;
+    EXPECT_EQ(a[i].index, b[i].index) << "record " << i;
+    EXPECT_EQ(a[i].known_re_bits, b[i].known_re_bits) << "record " << i;
+    EXPECT_EQ(a[i].known_im_bits, b[i].known_im_bits) << "record " << i;
+    EXPECT_EQ(a[i].samples, b[i].samples) << "record " << i;
+  }
+}
+
+TEST(Split, ContiguousQueryRangesRebasedToZero) {
+  TempFile in("ts_split_in.fdtrace");
+  write_archive(in.path, 56, /*seed=*/7);  // queries 0..6 over 8 slots
+  TempFile s0("ts_split_out.shard0"), s1("ts_split_out.shard1"), s2("ts_split_out.shard2");
+
+  std::string error;
+  std::vector<std::string> paths;
+  ASSERT_TRUE(split_archive(in.path, "ts_split_out", 3, &paths, &error)) << error;
+  ASSERT_EQ(paths.size(), 3U);
+
+  // 7 queries over 3 shards: leading-heavy plan 3 + 2 + 2.
+  const std::size_t expected_queries[3] = {3, 2, 2};
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto recs = read_all(paths[i]);
+    EXPECT_EQ(recs.size(), expected_queries[i] * 8) << "shard " << i;
+    std::uint32_t max_index = 0;
+    for (const auto& r : recs) max_index = std::max(max_index, r.index);
+    EXPECT_EQ(max_index + 1, expected_queries[i]) << "shard " << i;  // re-based to 0
+    ArchiveReader reader;
+    ASSERT_TRUE(reader.open(paths[i]));
+    EXPECT_EQ(reader.meta().flags & kFlagMerged, 0U);
+  }
+}
+
+TEST(Split, MergeOfSplitReproducesTheArchive) {
+  TempFile in("ts_roundtrip_in.fdtrace");
+  TempFile out("ts_roundtrip_out.fdtrace");
+  write_archive(in.path, 40, /*seed=*/11);  // queries 0..4 over 8 slots
+  TempFile s0("ts_roundtrip.shard0"), s1("ts_roundtrip.shard1"), s2("ts_roundtrip.shard2");
+
+  std::string error;
+  std::vector<std::string> paths;
+  ASSERT_TRUE(split_archive(in.path, "ts_roundtrip", 3, &paths, &error)) << error;
+  ASSERT_TRUE(merge_archives(paths, out.path, &error)) << error;
+  expect_same_records(read_all(out.path), read_all(in.path));
+}
+
+TEST(Split, ShardCountCappedAtQueries) {
+  TempFile in("ts_split_cap.fdtrace");
+  write_archive(in.path, 16, /*seed=*/13);  // only 2 queries
+  TempFile s0("ts_split_cap_out.shard0"), s1("ts_split_cap_out.shard1");
+
+  std::string error;
+  std::vector<std::string> paths;
+  ASSERT_TRUE(split_archive(in.path, "ts_split_cap_out", 9, &paths, &error)) << error;
+  EXPECT_EQ(paths.size(), 2U);  // one shard per query, no empty shards
+}
+
+TEST(Split, EmptyArchiveRejected) {
+  TempFile in("ts_split_empty.fdtrace");
+  write_archive(in.path, 0);
+  std::string error;
+  EXPECT_FALSE(split_archive(in.path, "ts_split_empty_out", 2, nullptr, &error));
+  EXPECT_NE(error.find("no records"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace fd::tracestore

@@ -1,0 +1,167 @@
+// fd-attack: end-to-end key recovery from the command line.
+//
+//   fd-attack recover [--logn N] [--traces N] [--threads N] [--shards N]
+//                     [--sigma F] [--seed 0xN] [--archive PATH]
+//                     [--keep-archive] [--json]
+//
+// Runs the staged recovery pipeline (sharded capture -> parallel
+// per-component attack -> assemble -> NTRU solve + forgery) against a
+// freshly generated victim key. The result is a pure function of
+// (--logn, --traces, --shards, --sigma, --seed): --threads changes wall
+// time only (see DESIGN.md section 9), which makes this binary the
+// canonical way to drive the attack at every core count. Exit 0 iff the
+// forged signature verifies under the victim's public key.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "attack/recovery_pipeline.h"
+#include "common/rng.h"
+#include "falcon/falcon.h"
+#include "obs/jsonl.h"
+
+using namespace fd;
+namespace jsonl = fd::obs::jsonl;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fd-attack recover [--logn N] [--traces N] [--threads N]\n"
+               "                         [--shards N] [--sigma F] [--seed 0xN]\n"
+               "                         [--archive PATH] [--keep-archive] [--json]\n");
+  return 2;
+}
+
+struct Options {
+  unsigned logn = 5;
+  std::size_t traces = 900;
+  std::size_t threads = 1;
+  std::size_t shards = 1;
+  double sigma = 2.0;
+  std::uint64_t seed = 0xDE40;
+  std::string archive = "fd_attack_campaign.fdtrace";
+  bool keep_archive = false;
+  bool json = false;
+};
+
+bool parse(int argc, char** argv, Options& opt) {
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    const auto value = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--json") {
+      opt.json = true;
+    } else if (arg == "--keep-archive") {
+      opt.keep_archive = true;
+    } else if (arg == "--logn") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.logn = static_cast<unsigned>(std::strtoul(v, nullptr, 0));
+    } else if (arg == "--traces") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.traces = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--threads") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.threads = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--shards") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.shards = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--sigma") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.sigma = std::strtod(v, nullptr);
+    } else if (arg == "--seed") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.seed = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--archive") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.archive = v;
+    } else {
+      std::fprintf(stderr, "fd-attack: unknown option '%s'\n", std::string(arg).c_str());
+      return false;
+    }
+  }
+  return opt.logn >= 1 && opt.logn <= 10 && opt.traces > 0 && opt.threads > 0 &&
+         opt.shards > 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2 || std::string_view(argv[1]) != "recover") return usage();
+  Options opt;
+  if (!parse(argc, argv, opt)) return usage();
+
+  ChaCha20Prng rng("victim key seed");
+  const auto victim = falcon::keygen(opt.logn, rng);
+
+  attack::RecoveryPipelineConfig cfg;
+  cfg.attack.num_traces = opt.traces;
+  cfg.attack.device.noise_sigma = opt.sigma;
+  cfg.attack.seed = opt.seed;
+  cfg.attack.threads = opt.threads;
+  cfg.capture_shards = opt.shards;
+  cfg.archive_path = opt.archive;
+  cfg.keep_archive = opt.keep_archive;
+
+  if (!opt.json) {
+    std::printf("fd-attack: FALCON-%zu victim, %zu traces, %zu shard%s, %zu thread%s\n",
+                victim.pk.params.n, opt.traces, opt.shards, opt.shards == 1 ? "" : "s",
+                opt.threads, opt.threads == 1 ? "" : "s");
+  }
+  const auto res = attack::run_recovery_pipeline(victim, cfg);
+  if (!res.ok) {
+    std::fprintf(stderr, "fd-attack: %s\n", res.error.c_str());
+    return 2;
+  }
+
+  if (opt.json) {
+    std::string buf;
+    const auto field = [&](std::string_view key, const std::string& v, bool quote) {
+      if (!buf.empty()) buf += ',';
+      buf += '"';
+      buf += jsonl::escape(key);
+      buf += "\":";
+      if (quote) buf += '"';
+      buf += v;
+      if (quote) buf += '"';
+    };
+    field("n", std::to_string(victim.pk.params.n), false);
+    field("traces", std::to_string(opt.traces), false);
+    field("shards", std::to_string(opt.shards), false);
+    field("threads", std::to_string(opt.threads), false);
+    field("records", std::to_string(res.captured_records), false);
+    field("components_correct", std::to_string(res.recovery.components_correct), false);
+    field("components_total", std::to_string(res.recovery.components_total), false);
+    field("f_exact", res.recovery.f_exact ? "true" : "false", false);
+    field("ntru_solved", res.recovery.ntru_solved ? "true" : "false", false);
+    field("forgery_verified", res.recovery.forgery_verified ? "true" : "false", false);
+    for (const auto& stage : res.stages) {
+      std::string ms;
+      jsonl::append_number(ms, stage.wall_ms);
+      field("stage_" + stage.name + "_ms", ms, false);
+    }
+    std::printf("{%s}\n", buf.c_str());
+  } else {
+    for (const auto& stage : res.stages) {
+      std::printf("  stage %-8s %s (%.1f ms)\n", stage.name.c_str(),
+                  stage.ran ? "done" : "skipped", stage.wall_ms);
+    }
+    std::printf("captured records: %zu\n", res.captured_records);
+    std::printf("components recovered exactly: %zu / %zu\n", res.recovery.components_correct,
+                res.recovery.components_total);
+    std::printf("f recovered exactly: %s\n", res.recovery.f_exact ? "YES" : "no");
+    std::printf("NTRU equation re-solved: %s\n", res.recovery.ntru_solved ? "YES" : "no");
+    std::printf("forged signature verified by victim's PUBLIC key: %s\n",
+                res.recovery.forgery_verified ? "YES -- key fully compromised" : "no");
+  }
+  return res.recovery.forgery_verified ? 0 : 1;
+}

@@ -3,6 +3,7 @@
 //   fd-tracedb info <archive> [--json]        header + record census
 //   fd-tracedb verify <archive> [--json]      CRC walk; exit 1 on damage
 //   fd-tracedb merge <out> <in1> <in2> [...]  join shards into one archive
+//   fd-tracedb split <in> <out-prefix> <k>    cut into k query-range shards
 //   fd-tracedb export-csv <archive> [slot [max_records]]
 //
 // --json replaces the human output of info/verify with one flat JSON
@@ -213,6 +214,27 @@ int cmd_merge(const std::string& out, std::span<const std::string> inputs) {
   return 0;
 }
 
+int cmd_split(const std::string& in, const std::string& prefix, std::size_t k) {
+  std::string error;
+  std::vector<std::string> paths;
+  if (!split_archive(in, prefix, k, &paths, &error)) {
+    std::fprintf(stderr, "fd-tracedb: split failed: %s\n", error.c_str());
+    return 2;
+  }
+  std::size_t records = 0;
+  for (const auto& p : paths) {
+    VerifyReport report;
+    if (!verify_archive(p, report, &error)) {
+      std::fprintf(stderr, "fd-tracedb: shard unreadable: %s: %s\n", p.c_str(), error.c_str());
+      return 2;
+    }
+    records += report.records;
+  }
+  std::printf("split %s -> %zu shard%s at %s.shard* (%zu records)\n", in.c_str(), paths.size(),
+              paths.size() == 1 ? "" : "s", prefix.c_str(), records);
+  return 0;
+}
+
 int cmd_export_csv(const std::string& path, long slot, std::size_t max_records) {
   ArchiveReader reader;
   if (!reader.open(path)) {
@@ -243,6 +265,7 @@ int usage() {
                "usage: fd-tracedb info <archive> [--json]\n"
                "       fd-tracedb verify <archive> [--json]\n"
                "       fd-tracedb merge <out> <in1> <in2> [...]\n"
+               "       fd-tracedb split <in> <out-prefix> <k>\n"
                "       fd-tracedb export-csv <archive> [slot [max_records]]\n");
   return 2;
 }
@@ -268,6 +291,12 @@ int main(int argc, char** argv) {
     if (args.size() < 3) return usage();
     const std::vector<std::string> inputs(args.begin() + 2, args.end());
     return cmd_merge(args[1], inputs);
+  }
+  if (cmd == "split") {
+    if (args.size() < 4) return usage();
+    const long long k = std::atoll(args[3].c_str());
+    if (k <= 0) return usage();
+    return cmd_split(args[1], args[2], static_cast<std::size_t>(k));
   }
   if (cmd == "export-csv") {
     const long slot = args.size() > 2 ? std::atol(args[2].c_str()) : -1;
