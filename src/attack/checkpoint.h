@@ -1,0 +1,65 @@
+#pragma once
+// Pipeline checkpoint persistence (.fdckpt).
+//
+// A long attack run dies for boring reasons -- OOM kill, power loss,
+// ctrl-C -- and at paper scale (n = 1024 components, minutes each) a
+// restart from zero is expensive. The pipeline therefore persists its
+// per-component progress beside the trace archive: which components are
+// finished, their full ComponentResult (every score as raw IEEE-754
+// bits, so a resumed run reproduces the original bit-for-bit), and the
+// post-quality-gate trace count each decision was based on (the D of
+// its confidence interval -- re-measurement needs it to re-evaluate
+// acceptance identically after a resume).
+//
+// Format (little-endian):
+//   magic "FDCKPT1\0" | u32 payload_crc32 | payload
+//   payload: u64 config_hash | u32 num_components | u32 remeasure_round
+//            | per component: u8 done, then iff done:
+//                the serialized ComponentResult + u64 accepted_traces
+//
+// config_hash binds the file to (victim key, attack config, fault plan,
+// quality gate): a checkpoint from a different experiment refuses to
+// load rather than silently mixing results. Writes are atomic
+// (write-then-rename), so a kill during save leaves the previous
+// checkpoint intact.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "attack/extend_prune.h"
+
+namespace fd::attack {
+
+struct CheckpointState {
+  std::uint64_t config_hash = 0;
+  std::uint32_t remeasure_round = 0;       // re-measurement rounds already merged
+  std::vector<std::uint8_t> done;          // 1 = component finished
+  std::vector<ComponentResult> results;    // valid where done[i]
+  std::vector<std::uint64_t> accepted_traces;  // post-gate D where done[i]
+
+  void reset(std::size_t num_components) {
+    config_hash = 0;
+    remeasure_round = 0;
+    done.assign(num_components, 0);
+    results.assign(num_components, ComponentResult{});
+    accepted_traces.assign(num_components, 0);
+  }
+  [[nodiscard]] std::size_t completed() const {
+    std::size_t c = 0;
+    for (const auto d : done) c += d != 0;
+    return c;
+  }
+};
+
+// Atomic save: serializes to `path` + ".tmp" and renames over `path`.
+[[nodiscard]] bool save_checkpoint(const std::string& path, const CheckpointState& state,
+                                   std::string* error = nullptr);
+
+// Loads and CRC-checks `path`. Fails (with a message) on missing file,
+// bad magic, CRC mismatch, or a truncated/overlong payload; checking
+// config_hash against the current experiment is the caller's job.
+[[nodiscard]] bool load_checkpoint(const std::string& path, CheckpointState& state,
+                                   std::string* error = nullptr);
+
+}  // namespace fd::attack

@@ -75,6 +75,82 @@ bool attack_all_components_from_archive(const std::string& archive_path,
   return true;
 }
 
+bool attack_components_gated(const std::string& archive_path, const QualityConfig& gate,
+                             const ComponentConfigFn& config_for, exec::ThreadPool* pool,
+                             std::span<const std::size_t> components,
+                             std::vector<ComponentResult>& results,
+                             std::vector<std::size_t>& accepted_traces,
+                             QualityReport* quality, std::string* error) {
+  obs::Span span("attack.components.gated");
+  std::size_t hn = 0;
+  unsigned jitter_max = 0;
+  {
+    tracestore::ArchiveReader probe;
+    if (!probe.open(archive_path)) {
+      if (error != nullptr) *error = probe.error();
+      return false;
+    }
+    hn = probe.meta().num_slots;
+    jitter_max = probe.meta().jitter_max;
+  }
+  const std::size_t n = hn * 2;
+  if (results.size() != n) results.assign(n, ComponentResult{});
+  if (accepted_traces.size() != n) accepted_traces.assign(n, 0);
+
+  std::mutex mu;  // guards first_error and the aggregate report
+  std::string first_error;
+  QualityReport total;
+  exec::parallel_for_chunks(pool, components.size(), components.size(),
+                            [&](exec::ChunkRange r, std::size_t) {
+    for (std::size_t k = r.begin; k < r.end; ++k) {
+      const std::size_t idx = components[k];
+      if (idx >= n) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (first_error.empty()) {
+          first_error = "component id " + std::to_string(idx) + " out of range";
+        }
+        continue;
+      }
+      const ComponentIndex ci = component_index(idx, hn);
+      tracestore::ArchiveReader reader;  // private reader per task
+      if (!reader.open(archive_path)) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (first_error.empty()) first_error = reader.error();
+        continue;
+      }
+      sca::TraceSet set;
+      if (!sca::load_trace_set(reader, ci.slot, set) || set.traces.empty()) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (first_error.empty()) {
+          first_error = "no records for slot " + std::to_string(ci.slot);
+        }
+        continue;
+      }
+      const QualityReport rep = screen_trace_set(set, gate, jitter_max);
+      if (set.traces.empty()) {
+        std::lock_guard<std::mutex> lock(mu);
+        if (first_error.empty()) {
+          first_error =
+              "quality gate rejected every trace of slot " + std::to_string(ci.slot);
+        }
+        continue;
+      }
+      const ComponentDataset ds = build_component_dataset(set, ci.imag);
+      results[idx] = attack_component(ds, config_for(ci));
+      accepted_traces[idx] = set.traces.size();
+      std::lock_guard<std::mutex> lock(mu);
+      total.add(rep);
+    }
+  });
+  if (quality != nullptr) *quality = total;
+  if (!first_error.empty()) {
+    if (error != nullptr) *error = first_error;
+    return false;
+  }
+  obs::MetricsRegistry::global().counter("attack.components").add(components.size());
+  return true;
+}
+
 bool run_cpa_streaming_many(const std::string& archive_path,
                             std::span<const StreamingCpaSpec> specs, exec::ThreadPool* pool,
                             std::vector<CpaEngine>& results, std::string* error) {

@@ -14,10 +14,12 @@
 
 #include <cstddef>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "attack/extend_prune.h"
+#include "attack/quality.h"
 #include "attack/streaming_cpa.h"
 #include "exec/thread_pool.h"
 #include "sca/campaign.h"
@@ -63,6 +65,29 @@ using ComponentConfigFn = std::function<ComponentAttackConfig(const ComponentInd
                                                       exec::ThreadPool* pool,
                                                       std::vector<ComponentResult>& out,
                                                       std::string* error = nullptr);
+
+// Quality-gated, subset-capable variant: attacks only the listed global
+// component ids (resume and re-measurement both need "just these"),
+// screening each task's slot records through the quality gate before
+// dataset extraction. `results` and `accepted_traces` are indexed by
+// global component id and resized to n when they aren't already --
+// entries of ids NOT in `components` are left untouched, which is what
+// lets checkpoint resume and retry rounds fill in around completed
+// work. accepted_traces[idx] is the post-gate trace count feeding that
+// component's CPA (the D of its confidence interval). The aggregate
+// gate report lands in `quality` (summed in task-completion order; the
+// sums are order-invariant). Bit-identity contract: results depend only
+// on (archive bytes, gate config, per-component config), never the
+// worker count.
+[[nodiscard]] bool attack_components_gated(const std::string& archive_path,
+                                           const QualityConfig& gate,
+                                           const ComponentConfigFn& config_for,
+                                           exec::ThreadPool* pool,
+                                           std::span<const std::size_t> components,
+                                           std::vector<ComponentResult>& results,
+                                           std::vector<std::size_t>& accepted_traces,
+                                           QualityReport* quality = nullptr,
+                                           std::string* error = nullptr);
 
 // Fans independent streamed CPA passes across the pool, one private
 // ArchiveReader per task. results[i] is the engine of specs[i]; each

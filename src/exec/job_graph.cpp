@@ -21,11 +21,19 @@ JobGraph::JobId JobGraph::add(std::string name, std::function<void()> fn,
 }
 
 std::vector<JobGraph::JobReport> JobGraph::run(ThreadPool* pool) {
+  std::string first_error;
+  auto reports = run_collect(pool, &first_error);
+  if (!first_error.empty()) throw std::runtime_error(first_error);
+  return reports;
+}
+
+std::vector<JobGraph::JobReport> JobGraph::run_collect(ThreadPool* pool,
+                                                       std::string* first_error) {
   std::vector<JobReport> reports(jobs_.size());
   for (std::size_t i = 0; i < jobs_.size(); ++i) reports[i].name = jobs_[i].name;
 
   std::vector<bool> done(jobs_.size(), false);
-  std::vector<std::exception_ptr> errors(jobs_.size());
+  std::vector<bool> errored(jobs_.size(), false);
   std::size_t completed = 0;
   bool failed = false;
 
@@ -34,8 +42,13 @@ std::vector<JobGraph::JobReport> JobGraph::run(ThreadPool* pool) {
     const auto t0 = std::chrono::steady_clock::now();
     try {
       jobs_[id].fn();
+      reports[id].ok = true;
+    } catch (const std::exception& e) {
+      errored[id] = true;
+      reports[id].error = e.what();
     } catch (...) {
-      errors[id] = std::current_exception();
+      errored[id] = true;
+      reports[id].error = "unknown exception";
     }
     reports[id].wall_ms =
         std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() - t0)
@@ -62,12 +75,17 @@ std::vector<JobGraph::JobReport> JobGraph::run(ThreadPool* pool) {
     for (const JobId id : level) {
       done[id] = true;
       ++completed;
-      if (errors[id]) failed = true;
+      if (errored[id]) failed = true;
     }
   }
 
-  for (const auto& err : errors) {
-    if (err) std::rethrow_exception(err);
+  if (first_error != nullptr) {
+    for (std::size_t id = 0; id < jobs_.size(); ++id) {
+      if (errored[id]) {
+        *first_error = reports[id].error;  // insertion order: run()'s rethrow pick
+        break;
+      }
+    }
   }
   return reports;
 }

@@ -33,6 +33,8 @@ class JobGraph {
     std::string name;
     double wall_ms = 0.0;
     bool ran = false;  // false: skipped because an upstream job failed
+    bool ok = false;   // ran and threw nothing
+    std::string error; // the job's exception message, when it threw
   };
 
   // Adds a job depending on `deps` (ids from earlier add() calls --
@@ -41,6 +43,13 @@ class JobGraph {
 
   // Executes the graph; null pool runs every level inline.
   std::vector<JobReport> run(ThreadPool* pool);
+
+  // Non-throwing twin of run(): failures are *collected*, not rethrown.
+  // Each report carries ok/error; the first failure (insertion order,
+  // same job run() would rethrow) is copied into `first_error` when
+  // set. Jobs downstream of a failure stay ran == false -- callers get
+  // the partial stage picture instead of a bare exception.
+  std::vector<JobReport> run_collect(ThreadPool* pool, std::string* first_error = nullptr);
 
   [[nodiscard]] std::size_t size() const { return jobs_.size(); }
 

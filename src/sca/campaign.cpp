@@ -200,6 +200,7 @@ ArchiveCampaignResult run_campaign_to_archive(const falcon::SecretKey& sk,
 
   ArchiveCampaignResult out;
   CampaignTelemetry telemetry(config, "archive");
+  const FaultPlan fplan(config.faults);
   tracestore::ArchiveWriter writer;
   tracestore::TraceRecord rec;
   for (std::size_t d = 0; d < config.num_traces; ++d) {
@@ -210,11 +211,28 @@ ArchiveCampaignResult run_campaign_to_archive(const falcon::SecretKey& sk,
       fpr::ScopedLeakageSink scope(&recorder);
       sig = signer(sk, message, victim_rng);
     }
+    const std::uint64_t gq = config.fault_query_offset + d;
+    const QueryFault qf = fplan.enabled() ? fplan.query_fault(gq) : QueryFault{};
+    if (qf.drop) {
+      // Missed trigger: the victim signed (its RNG stream advanced as
+      // usual) but the scope captured nothing -- no records, no FFT(c)
+      // recomputation, the query index simply never appears on disk.
+      obs::MetricsRegistry::global().counter("sca.faults.dropped_queries").add(1);
+      ++out.queries;
+      telemetry.on_query(recorder, d + 1, 0);
+      continue;
+    }
+    if (qf.desync != 0) {
+      obs::MetricsRegistry::global().counter("sca.faults.desynced_queries").add(1);
+    }
+    if (qf.saturate) {
+      obs::MetricsRegistry::global().counter("sca.faults.saturated_queries").add(1);
+    }
     const auto cf = known_fft_of_hash(sig, message, logn);
     for (std::size_t s = 0; s < hn; ++s) {
-      const Trace trace = device.synthesize(recorder.window(s));
-      if (d == 0 && s == 0) {
-        // First window fixes the archive's trace length.
+      Trace trace = device.synthesize(recorder.window(s));
+      if (!writer.is_open()) {
+        // First captured window fixes the archive's trace length.
         const auto meta =
             make_archive_meta(sk, config, trace.samples.size(), traces_per_chunk);
         if (!writer.open(path, meta)) {
@@ -227,11 +245,12 @@ ArchiveCampaignResult run_campaign_to_archive(const falcon::SecretKey& sk,
                     std::to_string(d) + ", slot " + std::to_string(s);
         return out;
       }
+      if (fplan.enabled()) apply_trace_faults(fplan, qf, gq, s, trace.samples);
       rec.slot = static_cast<std::uint32_t>(s);
       rec.index = static_cast<std::uint32_t>(d);
       rec.known_re_bits = cf[s].bits();
       rec.known_im_bits = cf[s + hn].bits();
-      rec.samples = trace.samples;
+      rec.samples = std::move(trace.samples);
       if (!writer.append(rec)) {
         out.error = writer.error();
         return out;
@@ -241,11 +260,33 @@ ArchiveCampaignResult run_campaign_to_archive(const falcon::SecretKey& sk,
     ++out.queries;
     telemetry.on_query(recorder, d + 1, hn);
   }
+  if (!writer.is_open()) {
+    if (config.num_traces == 0) {
+      out.error = "archive campaign needs at least one query";
+      return out;
+    }
+    // Every query dropped (possible for a small shard under a harsh
+    // plan): emit a valid empty archive so sharded merges still work.
+    // The recorder holds the last run's windows, which fixes the length.
+    const Trace probe = device.synthesize(recorder.window(0));
+    const auto meta = make_archive_meta(sk, config, probe.samples.size(), traces_per_chunk);
+    if (!writer.open(path, meta)) {
+      out.error = writer.error();
+      return out;
+    }
+  }
   if (!writer.close()) {
     out.error = writer.error();
     return out;
   }
   telemetry.finish(out.queries, out.records);
+  if (config.faults.chunk_corrupt_rate > 0.0) {
+    std::string cerr;
+    if (!corrupt_archive_chunks(path, fplan, nullptr, &cerr)) {
+      out.error = cerr;
+      return out;
+    }
+  }
   out.ok = true;
   return out;
 }
@@ -284,6 +325,11 @@ ShardedCampaignResult run_campaign_sharded(const falcon::SecretKey& sk,
     CampaignConfig shard_cfg = config.base;
     shard_cfg.num_traces = plan[i].size();
     shard_cfg.seed = exec::split_seed(config.base.seed, i);
+    // Faults key on campaign-global query indices so the shard plan
+    // never changes which queries fault; chunk damage is deferred to the
+    // merged file (chunk ordinals are only meaningful there).
+    shard_cfg.fault_query_offset = config.base.fault_query_offset + plan[i].begin;
+    shard_cfg.faults.chunk_corrupt_rate = 0.0;
     if (config.base.progress) {
       const std::size_t total = config.base.num_traces;
       auto last = std::make_shared<std::size_t>(0);
@@ -323,6 +369,16 @@ ShardedCampaignResult run_campaign_sharded(const falcon::SecretKey& sk,
     return out;
   }
   cleanup();
+  // Chunk damage applies to the merged file: its chunk ordinals are the
+  // experiment-visible ones (a pure function of key/config/num_shards),
+  // so the damaged byte set is deterministic too.
+  if (config.base.faults.chunk_corrupt_rate > 0.0) {
+    std::string cerr;
+    if (!corrupt_archive_chunks(path, FaultPlan(config.base.faults), nullptr, &cerr)) {
+      out.error = cerr;
+      return out;
+    }
+  }
   if (config.keep_shards) out.shard_paths = std::move(shard_paths);
   obs::event("sca.campaign.sharded")
       .with("shards", out.shards)
@@ -380,11 +436,13 @@ std::vector<TraceSet> run_full_campaign(const falcon::SecretKey& sk,
   const SignerFn signer = config.signer ? config.signer : SignerFn(&falcon::sign);
 
   CampaignTelemetry telemetry(config, "inmemory");
+  const FaultPlan fplan(config.faults);
   std::vector<TraceSet> sets(hn);
   for (std::size_t s = 0; s < hn; ++s) {
     sets[s].slot = s;
     sets[s].traces.reserve(config.num_traces);
   }
+  std::size_t captured = 0;
   for (std::size_t d = 0; d < config.num_traces; ++d) {
     const std::string message = "trace-" + std::to_string(d);
     recorder.start_run();
@@ -393,17 +451,32 @@ std::vector<TraceSet> run_full_campaign(const falcon::SecretKey& sk,
       fpr::ScopedLeakageSink scope(&recorder);
       sig = signer(sk, message, victim_rng);
     }
+    const std::uint64_t gq = config.fault_query_offset + d;
+    const QueryFault qf = fplan.enabled() ? fplan.query_fault(gq) : QueryFault{};
+    if (qf.drop) {
+      obs::MetricsRegistry::global().counter("sca.faults.dropped_queries").add(1);
+      telemetry.on_query(recorder, d + 1, 0);
+      continue;
+    }
+    if (qf.desync != 0) {
+      obs::MetricsRegistry::global().counter("sca.faults.desynced_queries").add(1);
+    }
+    if (qf.saturate) {
+      obs::MetricsRegistry::global().counter("sca.faults.saturated_queries").add(1);
+    }
     const auto cf = known_fft_of_hash(sig, message, logn);
     for (std::size_t s = 0; s < hn; ++s) {
       CapturedTrace ct;
       ct.trace = device.synthesize(recorder.window(s));
+      if (fplan.enabled()) apply_trace_faults(fplan, qf, gq, s, ct.trace.samples);
       ct.known_re = cf[s];
       ct.known_im = cf[s + hn];
       sets[s].traces.push_back(std::move(ct));
     }
+    ++captured;
     telemetry.on_query(recorder, d + 1, hn);
   }
-  telemetry.finish(config.num_traces, config.num_traces * hn);
+  telemetry.finish(config.num_traces, captured * hn);
   return sets;
 }
 

@@ -19,6 +19,7 @@
 #include "falcon/sign.h"
 #include "fpr/fpr.h"
 #include "sca/device.h"
+#include "sca/faults.h"
 #include "tracestore/archive.h"
 
 namespace fd::sca {
@@ -55,6 +56,18 @@ struct CampaignConfig {
   // (sca.campaign.* counters/gauges) and the span histograms.
   std::function<void(std::size_t done, std::size_t total)> progress;
   std::size_t progress_every = 0;
+  // Deterministic rig-failure injection (sca/faults.h). The all-zero
+  // default is the pristine rig: capture behaves bit-identically to a
+  // build without the fault layer. Applied by the full-campaign and
+  // archive paths (drop/desync/saturate/glitch in-band, chunk damage
+  // post-write); capture_fail_rate is the *caller's* retry surface
+  // (recovery pipeline), never acted on here.
+  FaultConfig faults;
+  // Campaign-global index of this run's first query: sharded capture
+  // sets it to the shard's range start so the fault plan keys on global
+  // query indices and the shard decomposition never changes which
+  // queries fault.
+  std::size_t fault_query_offset = 0;
 };
 
 // Captures the FFT(c) (.) FFT(-f) window of one complex slot over

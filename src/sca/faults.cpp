@@ -1,0 +1,227 @@
+#include "sca/faults.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "exec/seed_split.h"
+#include "obs/metrics.h"
+#include "tracestore/archive.h"
+
+namespace fd::sca {
+
+namespace {
+
+// Domain-separation tags: each failure mode draws from its own lane of
+// the plan seed so the modes are independent of one another.
+enum : std::uint64_t {
+  kTagDrop = 0xD301,
+  kTagDesync = 0xD302,
+  kTagDesyncMag = 0xD303,
+  kTagSaturate = 0xD304,
+  kTagGlitch = 0xD305,
+  kTagGlitchPos = 0xD306,
+  kTagChunk = 0xD307,
+  kTagCapture = 0xD308,
+};
+
+// One uniform draw in [0, 1) from (seed, tag, a, b). mix64 is the
+// SplitMix64 finalizer of exec/seed_split.h -- the same primitive the
+// sharded-seed tree uses, for the same reason: stateless determinism.
+[[nodiscard]] std::uint64_t draw_bits(std::uint64_t seed, std::uint64_t tag, std::uint64_t a,
+                                      std::uint64_t b = 0) {
+  return exec::mix64(exec::mix64(seed ^ exec::mix64(tag)) ^ exec::mix64(a) ^
+                     exec::mix64(exec::mix64(b) + 1));
+}
+
+[[nodiscard]] double draw_unit(std::uint64_t seed, std::uint64_t tag, std::uint64_t a,
+                               std::uint64_t b = 0) {
+  return static_cast<double>(draw_bits(seed, tag, a, b) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+QueryFault FaultPlan::query_fault(std::uint64_t query) const {
+  QueryFault qf;
+  if (!enabled()) return qf;
+  const std::uint64_t s = config_.seed;
+  if (config_.drop_rate > 0.0 && draw_unit(s, kTagDrop, query) < config_.drop_rate) {
+    qf.drop = true;
+    return qf;  // a missed trigger leaves nothing to desync or clip
+  }
+  if (config_.desync_rate > 0.0 && draw_unit(s, kTagDesync, query) < config_.desync_rate) {
+    const unsigned lo = std::min(config_.desync_min, config_.desync_max);
+    const unsigned hi = std::max(config_.desync_min, config_.desync_max);
+    qf.desync = lo + static_cast<unsigned>(draw_bits(s, kTagDesyncMag, query) %
+                                           (static_cast<std::uint64_t>(hi - lo) + 1));
+    if (qf.desync == 0) qf.desync = 1;  // "desynced" must actually move the window
+  }
+  if (config_.saturate_rate > 0.0 &&
+      draw_unit(s, kTagSaturate, query) < config_.saturate_rate) {
+    qf.saturate = true;
+  }
+  return qf;
+}
+
+bool FaultPlan::glitch(std::uint64_t query, std::uint64_t slot) const {
+  return config_.glitch_rate > 0.0 &&
+         draw_unit(config_.seed, kTagGlitch, query, slot) < config_.glitch_rate;
+}
+
+std::size_t FaultPlan::glitch_sample(std::uint64_t query, std::uint64_t slot,
+                                     std::size_t num_samples) const {
+  if (num_samples == 0) return 0;
+  return static_cast<std::size_t>(draw_bits(config_.seed, kTagGlitchPos, query, slot) %
+                                  num_samples);
+}
+
+bool FaultPlan::corrupt_chunk(std::uint64_t chunk_ordinal) const {
+  return config_.chunk_corrupt_rate > 0.0 &&
+         draw_unit(config_.seed, kTagChunk, chunk_ordinal) < config_.chunk_corrupt_rate;
+}
+
+bool FaultPlan::capture_fails(std::uint64_t round, std::uint64_t attempt) const {
+  return config_.capture_fail_rate > 0.0 &&
+         draw_unit(config_.seed, kTagCapture, round, attempt) < config_.capture_fail_rate;
+}
+
+void apply_trace_faults(const FaultPlan& plan, const QueryFault& qf, std::uint64_t query,
+                        std::uint64_t slot, std::vector<float>& samples) {
+  if (samples.empty()) return;
+  if (qf.desync > 0) {
+    // Late trigger: the window content slides right by `desync` samples;
+    // what the scope recorded before the (late) signal is baseline, and
+    // the tail of the real window was never captured.
+    const std::size_t d = std::min<std::size_t>(qf.desync, samples.size());
+    for (std::size_t i = samples.size(); i-- > d;) samples[i] = samples[i - d];
+    std::fill(samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(d), 0.0F);
+  }
+  if (qf.saturate) {
+    const float lim = static_cast<float>(plan.config().saturate_level);
+    for (auto& v : samples) v = std::clamp(v, -lim, lim);
+  }
+  if (plan.glitch(query, slot)) {
+    samples[plan.glitch_sample(query, slot, samples.size())] +=
+        static_cast<float>(plan.config().glitch_amplitude);
+    obs::MetricsRegistry::global().counter("sca.faults.glitched_records").add(1);
+  }
+}
+
+bool corrupt_archive_chunks(const std::string& path, const FaultPlan& plan,
+                            std::size_t* corrupted, std::string* error) {
+  if (corrupted != nullptr) *corrupted = 0;
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what + ": " + path;
+    return false;
+  };
+  if (plan.config().chunk_corrupt_rate <= 0.0) return true;
+
+  // The record size comes from the header; chunk sizes from each chunk
+  // header -- the same walk ArchiveReader does, but byte-surgical.
+  tracestore::ArchiveMeta meta;
+  {
+    tracestore::ArchiveReader probe;
+    if (!probe.open(path)) return fail("corrupt_archive_chunks: " + probe.error());
+    meta = probe.meta();
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  if (f == nullptr) return fail("corrupt_archive_chunks: cannot reopen");
+  const std::size_t record_bytes = meta.record_bytes();
+  long pos = static_cast<long>(tracestore::kHeaderBytes);
+  std::uint64_t ordinal = 0;
+  std::size_t hits = 0;
+  for (;;) {
+    std::uint8_t hdr[tracestore::kChunkHeaderBytes];
+    if (std::fseek(f, pos, SEEK_SET) != 0) break;
+    if (std::fread(hdr, 1, sizeof(hdr), f) != sizeof(hdr)) break;  // truncated tail: done
+    const std::uint32_t record_count = static_cast<std::uint32_t>(hdr[4]) |
+                                       static_cast<std::uint32_t>(hdr[5]) << 8 |
+                                       static_cast<std::uint32_t>(hdr[6]) << 16 |
+                                       static_cast<std::uint32_t>(hdr[7]) << 24;
+    const std::size_t payload = static_cast<std::size_t>(record_count) * record_bytes;
+    if (payload > 0 && plan.corrupt_chunk(ordinal)) {
+      const long off = pos + static_cast<long>(tracestore::kChunkHeaderBytes) +
+                       static_cast<long>(exec::mix64(plan.config().seed ^ ordinal) % payload);
+      std::uint8_t byte = 0;
+      if (std::fseek(f, off, SEEK_SET) != 0 || std::fread(&byte, 1, 1, f) != 1) {
+        std::fclose(f);
+        return fail("corrupt_archive_chunks: short chunk payload");
+      }
+      byte ^= 0xA5;
+      if (std::fseek(f, off, SEEK_SET) != 0 || std::fwrite(&byte, 1, 1, f) != 1) {
+        std::fclose(f);
+        return fail("corrupt_archive_chunks: write failed");
+      }
+      ++hits;
+    }
+    pos += static_cast<long>(tracestore::kChunkHeaderBytes) + static_cast<long>(payload);
+    ++ordinal;
+  }
+  std::fclose(f);
+  if (hits > 0) {
+    obs::MetricsRegistry::global().counter("sca.faults.chunks_corrupted").add(hits);
+  }
+  if (corrupted != nullptr) *corrupted = hits;
+  return true;
+}
+
+bool parse_fault_plan(std::string_view spec, FaultConfig& out, std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  FaultConfig cfg;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    const std::string_view pair = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (pair.empty()) continue;
+    const std::size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      return fail("fault plan: expected key=value, got '" + std::string(pair) + "'");
+    }
+    const std::string_view key = pair.substr(0, eq);
+    const std::string value(pair.substr(eq + 1));
+    char* end = nullptr;
+    const double num = std::strtod(value.c_str(), &end);
+    const bool numeric = end != nullptr && *end == '\0' && !value.empty();
+    if (!numeric) {
+      return fail("fault plan: bad value '" + value + "' for '" + std::string(key) + "'");
+    }
+    if (key == "drop") {
+      cfg.drop_rate = num;
+    } else if (key == "desync") {
+      cfg.desync_rate = num;
+    } else if (key == "desync_min") {
+      cfg.desync_min = static_cast<unsigned>(num);
+    } else if (key == "desync_max") {
+      cfg.desync_max = static_cast<unsigned>(num);
+    } else if (key == "saturate" || key == "sat") {
+      cfg.saturate_rate = num;
+    } else if (key == "saturate_level") {
+      cfg.saturate_level = num;
+    } else if (key == "glitch") {
+      cfg.glitch_rate = num;
+    } else if (key == "glitch_amplitude") {
+      cfg.glitch_amplitude = num;
+    } else if (key == "chunk") {
+      cfg.chunk_corrupt_rate = num;
+    } else if (key == "fail") {
+      cfg.capture_fail_rate = num;
+    } else if (key == "seed") {
+      cfg.seed = std::strtoull(value.c_str(), nullptr, 0);
+    } else {
+      return fail("fault plan: unknown key '" + std::string(key) + "'");
+    }
+  }
+  for (const double rate : {cfg.drop_rate, cfg.desync_rate, cfg.saturate_rate,
+                            cfg.glitch_rate, cfg.chunk_corrupt_rate, cfg.capture_fail_rate}) {
+    if (rate < 0.0 || rate > 1.0) return fail("fault plan: rates must be in [0, 1]");
+  }
+  out = cfg;
+  return true;
+}
+
+}  // namespace fd::sca

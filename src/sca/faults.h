@@ -1,0 +1,128 @@
+#pragma once
+// Deterministic fault injection for the synthetic capture rig.
+//
+// The paper's physical setup (Cortex-M4 victim, near-field probe,
+// PicoScope at 500 MS/s) fails in mundane ways the synthetic
+// EmDeviceModel never does: the scope misses a trigger and a whole
+// signing query is lost, the trigger fires late and the window lands
+// tens of samples off, the front-end clips, a neighbouring switcher
+// glitches a record, a chunk of the capture file is written damaged.
+// This layer injects exactly those failure modes -- *deterministically*.
+//
+// Determinism contract (DESIGN.md section 9 extended by section 10):
+// every fault decision is a pure function of (FaultConfig.seed, the
+// campaign-global query index, and -- for record/chunk-granular faults
+// -- the slot or chunk ordinal), derived with the same SplitMix64
+// finalizer the exec layer uses for seed splitting. No RNG state is
+// threaded through capture, so a faulted campaign stays byte-identical
+// at any worker count, and sharded captures agree with the serial path
+// because shards key faults by their global query offsets.
+//
+// Fault taxonomy:
+//   drop      -- missed trigger: every record of the query vanishes;
+//   desync    -- gross misalignment, far beyond DeviceConfig::jitter_max:
+//                the window is shifted by [desync_min, desync_max]
+//                samples (signal pushed out of frame, unrecoverable --
+//                the quality gate's job is to reject it);
+//   saturate  -- front-end clipping: samples clamp to +-saturate_level;
+//   glitch    -- a spike of glitch_amplitude on one sample of a record;
+//   chunk     -- a payload byte of an archive chunk is flipped after the
+//                write (the CRC policy of src/tracestore detects and
+//                skips it);
+//   capture   -- the whole capture round fails before any data flows
+//                (rig down); the recovery pipeline retries with
+//                exponential backoff.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sca/device.h"
+
+namespace fd::sca {
+
+struct FaultConfig {
+  double drop_rate = 0.0;        // P[query dropped: missed trigger]
+  double desync_rate = 0.0;      // P[query grossly misaligned]
+  unsigned desync_min = 32;      // shift magnitude window, samples
+  unsigned desync_max = 96;
+  double saturate_rate = 0.0;    // P[query clipped]
+  double saturate_level = 24.0;  // clip amplitude, trace units
+  double glitch_rate = 0.0;      // P[record hit by a spike]
+  double glitch_amplitude = 500.0;
+  double chunk_corrupt_rate = 0.0;  // P[archive chunk damaged on write]
+  double capture_fail_rate = 0.0;   // P[whole capture round fails]
+  std::uint64_t seed = 0xFA017;     // fault-plan seed (independent knob)
+
+  // True when any failure mode can fire; an all-zero config is the
+  // pristine rig and compiles capture down to the unfaulted path.
+  [[nodiscard]] bool any() const {
+    return drop_rate > 0.0 || desync_rate > 0.0 || saturate_rate > 0.0 ||
+           glitch_rate > 0.0 || chunk_corrupt_rate > 0.0 || capture_fail_rate > 0.0;
+  }
+};
+
+// Faults afflicting one signing query's capture. drop is exclusive (a
+// missed trigger produces no data to desync or clip); the others stack.
+struct QueryFault {
+  bool drop = false;
+  unsigned desync = 0;  // 0 = aligned
+  bool saturate = false;
+  [[nodiscard]] bool clean() const { return !drop && desync == 0 && !saturate; }
+};
+
+// The seeded, stateless plan: every decision is recomputable from the
+// config alone, in any order, from any thread.
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  explicit FaultPlan(const FaultConfig& config) : config_(config) {}
+
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+  [[nodiscard]] bool enabled() const { return config_.any(); }
+
+  // Query-granular faults, keyed by the campaign-global query index.
+  [[nodiscard]] QueryFault query_fault(std::uint64_t query) const;
+  // Record-granular glitch, keyed by (query, slot); the spike position
+  // inside the record is keyed the same way.
+  [[nodiscard]] bool glitch(std::uint64_t query, std::uint64_t slot) const;
+  [[nodiscard]] std::size_t glitch_sample(std::uint64_t query, std::uint64_t slot,
+                                          std::size_t num_samples) const;
+  // Archive damage, keyed by the final archive's chunk ordinal.
+  [[nodiscard]] bool corrupt_chunk(std::uint64_t chunk_ordinal) const;
+  // Rig-down simulation, keyed by (capture round, retry attempt) so a
+  // failed round's retry can deterministically succeed.
+  [[nodiscard]] bool capture_fails(std::uint64_t round, std::uint64_t attempt) const;
+
+ private:
+  FaultConfig config_;
+};
+
+// Applies the in-band fault modes (desync / saturate / glitch) to one
+// synthesized window in place. Dropping is the caller's job (it must
+// skip the record entirely), chunk corruption happens post-write via
+// corrupt_archive_chunks.
+void apply_trace_faults(const FaultPlan& plan, const QueryFault& qf, std::uint64_t query,
+                        std::uint64_t slot, std::vector<float>& samples);
+
+// Post-write archive damage: XORs one payload byte of every chunk the
+// plan selects (the CRC then fails and readers skip the chunk). Returns
+// false only on I/O errors; `corrupted` receives how many chunks were
+// hit. Deterministic: two calls on identical files damage identical
+// bytes, so corrupting is itself reproducible.
+[[nodiscard]] bool corrupt_archive_chunks(const std::string& path, const FaultPlan& plan,
+                                          std::size_t* corrupted = nullptr,
+                                          std::string* error = nullptr);
+
+// Parses a CLI fault-plan spec: comma-separated key=value pairs, e.g.
+//   "drop=0.1,desync=0.05,saturate=0.02,glitch=0.01,chunk=0.02,fail=0.25,seed=0xF"
+// Keys: drop desync desync_min desync_max saturate saturate_level
+//       glitch glitch_amplitude chunk fail seed. Unknown keys and
+//       malformed values fail with a message; an empty spec is the
+//       pristine config.
+[[nodiscard]] bool parse_fault_plan(std::string_view spec, FaultConfig& out,
+                                    std::string* error = nullptr);
+
+}  // namespace fd::sca

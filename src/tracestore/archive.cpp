@@ -382,6 +382,66 @@ bool verify_archive(const std::string& path, VerifyReport& report, std::string* 
   return true;
 }
 
+bool repair_archive(const std::string& in_path, const std::string& out_path,
+                    RepairReport& report, std::string* error) {
+  const auto fail = [&](const std::string& what) {
+    if (error != nullptr) *error = what;
+    return false;
+  };
+  report = RepairReport{};
+
+  ArchiveReader reader;
+  if (!reader.open(in_path)) return fail(reader.error());
+  report.meta = reader.meta();
+  const std::size_t record_bytes = reader.meta().record_bytes();
+
+  // Header walk first: per-chunk record counts stay readable over a
+  // damaged payload (only payload bytes are CRC-protected), which is
+  // what lets the report name the exact record ordinals lost.
+  std::vector<std::size_t> chunk_records;
+  {
+    std::FILE* f = std::fopen(in_path.c_str(), "rb");
+    if (f == nullptr) return fail("repair: cannot reopen: " + in_path);
+    bool walked = std::fseek(f, static_cast<long>(kHeaderBytes), SEEK_SET) == 0;
+    std::uint8_t hdr[kChunkHeaderBytes];
+    while (walked) {
+      if (std::fread(hdr, 1, sizeof(hdr), f) != sizeof(hdr)) break;
+      if (get_u32(hdr) != kChunkMagic) break;  // tail damage: same stop as the reader
+      const std::uint32_t count = get_u32(hdr + 4);
+      chunk_records.push_back(count);
+      if (std::fseek(f, static_cast<long>(count * record_bytes), SEEK_CUR) != 0) break;
+    }
+    std::fclose(f);
+    if (!walked) return fail("repair: seek failed: " + in_path);
+  }
+
+  ArchiveWriter writer;
+  if (!writer.open(out_path, reader.meta())) return fail(writer.error());
+  TraceRecord rec;
+  while (reader.next(rec)) {
+    if (!writer.append(rec)) return fail(writer.error());
+  }
+  if (!writer.close()) return fail(writer.error());
+
+  const ArchiveStats& st = reader.stats();
+  report.records_kept = st.records_read;
+  report.chunks_kept = st.chunks_ok;
+  report.chunks_dropped = st.chunks_corrupt;
+  report.dropped_chunks = st.corrupt_chunk_indices;
+  report.truncated_tail = st.truncated_tail;
+  std::vector<std::size_t> base(chunk_records.size() + 1, 0);
+  for (std::size_t i = 0; i < chunk_records.size(); ++i) {
+    base[i + 1] = base[i] + chunk_records[i];
+  }
+  for (const std::size_t o : st.corrupt_chunk_indices) {
+    if (o >= chunk_records.size()) continue;
+    for (std::size_t r = 0; r < chunk_records[o]; ++r) {
+      report.dropped_record_ordinals.push_back(base[o] + r);
+    }
+  }
+  return true;
+}
+
 bool merge_archives(std::span<const std::string> inputs, const std::string& out_path,
                     std::string* error) {
   const auto fail = [&](const std::string& why) {

@@ -209,6 +209,26 @@ struct VerifyReport {
                                   const std::string& out_path,
                                   std::string* error = nullptr);
 
+// Salvage pass (the `fd-tracedb repair` core): copies every CRC-valid
+// chunk's records of `in_path` into a fresh archive at `out_path`,
+// dropping damaged chunks. The report names exactly what was lost:
+// the ordinals of the dropped chunks and the file-order record
+// ordinals they held (counts come from the chunk headers, which stay
+// readable when only the payload is damaged -- a chunk whose header
+// itself is unreadable ends the walk as a truncated tail). Streaming
+// both sides, memory is one chunk per side.
+struct RepairReport {
+  ArchiveMeta meta;
+  std::size_t records_kept = 0;
+  std::size_t chunks_kept = 0;
+  std::size_t chunks_dropped = 0;
+  std::vector<std::size_t> dropped_chunks;           // file-order chunk ordinals
+  std::vector<std::size_t> dropped_record_ordinals;  // file-order record ordinals
+  bool truncated_tail = false;
+};
+[[nodiscard]] bool repair_archive(const std::string& in_path, const std::string& out_path,
+                                  RepairReport& report, std::string* error = nullptr);
+
 // Inverse of merge_archives: cuts one archive into `num_shards` shards
 // "<out_prefix>.shard<i>" along contiguous signing-query ranges (the
 // same leading-heavy plan exec::static_chunks uses, so split and

@@ -3,6 +3,8 @@
 //   fd-attack recover [--logn N] [--traces N] [--threads N] [--shards N]
 //                     [--sigma F] [--seed 0xN] [--archive PATH]
 //                     [--keep-archive] [--json]
+//                     [--fault-plan SPEC] [--adaptive] [--checkpoint]
+//                     [--resume] [--checkpoint-every N]
 //
 // Runs the staged recovery pipeline (sharded capture -> parallel
 // per-component attack -> assemble -> NTRU solve + forgery) against a
@@ -11,6 +13,13 @@
 // time only (see DESIGN.md section 9), which makes this binary the
 // canonical way to drive the attack at every core count. Exit 0 iff the
 // forged signature verifies under the victim's public key.
+//
+// Robustness (DESIGN.md section 10): --fault-plan injects the
+// deterministic rig-failure plan of sca/faults.h (and arms the trace
+// quality gate plus adaptive re-measurement, since a faulted capture is
+// what they exist for); --adaptive turns on confidence gating alone;
+// --checkpoint persists .fdckpt progress beside the archive and
+// --resume picks a killed run back up bit-identically.
 
 #include <cstdio>
 #include <cstdlib>
@@ -32,7 +41,11 @@ int usage() {
   std::fprintf(stderr,
                "usage: fd-attack recover [--logn N] [--traces N] [--threads N]\n"
                "                         [--shards N] [--sigma F] [--seed 0xN]\n"
-               "                         [--archive PATH] [--keep-archive] [--json]\n");
+               "                         [--archive PATH] [--keep-archive] [--json]\n"
+               "                         [--fault-plan SPEC] [--adaptive] [--checkpoint]\n"
+               "                         [--resume] [--checkpoint-every N]\n"
+               "  SPEC: comma-separated key=value, e.g.\n"
+               "        drop=0.1,desync=0.05,sat=0.02,glitch=0.01,chunk=0.02,fail=0.25\n");
   return 2;
 }
 
@@ -46,6 +59,11 @@ struct Options {
   std::string archive = "fd_attack_campaign.fdtrace";
   bool keep_archive = false;
   bool json = false;
+  std::string fault_plan;
+  bool adaptive = false;
+  bool checkpoint = false;
+  bool resume = false;
+  std::size_t checkpoint_every = 8;
 };
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -84,6 +102,20 @@ bool parse(int argc, char** argv, Options& opt) {
       const char* v = value();
       if (v == nullptr) return false;
       opt.archive = v;
+    } else if (arg == "--fault-plan") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.fault_plan = v;
+    } else if (arg == "--adaptive") {
+      opt.adaptive = true;
+    } else if (arg == "--checkpoint") {
+      opt.checkpoint = true;
+    } else if (arg == "--resume") {
+      opt.resume = true;
+    } else if (arg == "--checkpoint-every") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.checkpoint_every = std::strtoull(v, nullptr, 0);
     } else {
       std::fprintf(stderr, "fd-attack: unknown option '%s'\n", std::string(arg).c_str());
       return false;
@@ -111,6 +143,21 @@ int main(int argc, char** argv) {
   cfg.capture_shards = opt.shards;
   cfg.archive_path = opt.archive;
   cfg.keep_archive = opt.keep_archive;
+  if (!opt.fault_plan.empty()) {
+    std::string err;
+    if (!sca::parse_fault_plan(opt.fault_plan, cfg.faults, &err)) {
+      std::fprintf(stderr, "fd-attack: %s\n", err.c_str());
+      return 2;
+    }
+    // A faulted rig is exactly what the gate and the re-measurement
+    // controller exist for; arm both alongside the plan.
+    cfg.quality.enabled = true;
+    cfg.adaptive = true;
+  }
+  if (opt.adaptive) cfg.adaptive = true;
+  cfg.checkpoint = opt.checkpoint;
+  cfg.resume = opt.resume;
+  cfg.checkpoint_every = opt.checkpoint_every;
 
   if (!opt.json) {
     std::printf("fd-attack: FALCON-%zu victim, %zu traces, %zu shard%s, %zu thread%s\n",
@@ -120,6 +167,14 @@ int main(int argc, char** argv) {
   const auto res = attack::run_recovery_pipeline(victim, cfg);
   if (!res.ok) {
     std::fprintf(stderr, "fd-attack: %s\n", res.error.c_str());
+    for (const auto& stage : res.stages) {
+      std::fprintf(stderr, "  stage %-9s %s\n", stage.name.c_str(),
+                   !stage.ran ? "skipped" : (stage.ok ? "done" : stage.error.c_str()));
+    }
+    if (cfg.checkpoint || cfg.resume) {
+      std::fprintf(stderr, "fd-attack: progress kept in %s -- rerun with --resume\n",
+                   res.checkpoint_path.c_str());
+    }
     return 2;
   }
 
@@ -142,6 +197,17 @@ int main(int argc, char** argv) {
     field("components_correct", std::to_string(res.recovery.components_correct), false);
     field("components_total", std::to_string(res.recovery.components_total), false);
     field("f_exact", res.recovery.f_exact ? "true" : "false", false);
+    field("quality_screened", std::to_string(res.quality.total), false);
+    field("quality_accepted", std::to_string(res.quality.accepted), false);
+    field("quality_rejected_saturated", std::to_string(res.quality.rejected_saturated), false);
+    field("quality_rejected_energy", std::to_string(res.quality.rejected_energy), false);
+    field("quality_rejected_alignment", std::to_string(res.quality.rejected_alignment), false);
+    field("quality_realigned", std::to_string(res.quality.realigned), false);
+    field("capture_attempts", std::to_string(res.capture_attempts), false);
+    field("remeasure_rounds", std::to_string(res.remeasure_rounds), false);
+    field("flagged_components", std::to_string(res.flagged_components.size()), false);
+    field("partial", res.partial ? "true" : "false", false);
+    field("resumed", res.resumed ? "true" : "false", false);
     field("ntru_solved", res.recovery.ntru_solved ? "true" : "false", false);
     field("forgery_verified", res.recovery.forgery_verified ? "true" : "false", false);
     for (const auto& stage : res.stages) {
@@ -156,6 +222,23 @@ int main(int argc, char** argv) {
                   stage.ran ? "done" : "skipped", stage.wall_ms);
     }
     std::printf("captured records: %zu\n", res.captured_records);
+    if (res.quality.total > 0) {
+      std::printf("quality gate: %zu/%zu traces accepted (%zu saturated, %zu energy, "
+                  "%zu misaligned rejected; %zu realigned)\n",
+                  res.quality.accepted, res.quality.total, res.quality.rejected_saturated,
+                  res.quality.rejected_energy, res.quality.rejected_alignment,
+                  res.quality.realigned);
+    }
+    if (res.resumed) std::printf("resumed from checkpoint: %s\n", res.checkpoint_path.c_str());
+    if (res.remeasure_rounds > 0 || res.capture_attempts > 1) {
+      std::printf("adaptive re-measurement: %zu extra round%s, %zu capture attempt%s\n",
+                  res.remeasure_rounds, res.remeasure_rounds == 1 ? "" : "s",
+                  res.capture_attempts, res.capture_attempts == 1 ? "" : "s");
+    }
+    if (res.partial) {
+      std::printf("PARTIAL: %zu component%s below the confidence bar at budget end\n",
+                  res.flagged_components.size(), res.flagged_components.size() == 1 ? "" : "s");
+    }
     std::printf("components recovered exactly: %zu / %zu\n", res.recovery.components_correct,
                 res.recovery.components_total);
     std::printf("f recovered exactly: %s\n", res.recovery.f_exact ? "YES" : "no");

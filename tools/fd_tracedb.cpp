@@ -2,6 +2,7 @@
 //
 //   fd-tracedb info <archive> [--json]        header + record census
 //   fd-tracedb verify <archive> [--json]      CRC walk; exit 1 on damage
+//   fd-tracedb repair <in> <out> [--json]     salvage CRC-valid chunks
 //   fd-tracedb merge <out> <in1> <in2> [...]  join shards into one archive
 //   fd-tracedb split <in> <out-prefix> <k>    cut into k query-range shards
 //   fd-tracedb export-csv <archive> [slot [max_records]]
@@ -198,6 +199,49 @@ int cmd_verify(const std::string& path, bool json) {
   return 1;
 }
 
+int cmd_repair(const std::string& in, const std::string& out_path, bool json) {
+  RepairReport report;
+  std::string error;
+  if (!repair_archive(in, out_path, report, &error)) {
+    if (json) {
+      JsonOut out;
+      out.field("archive", in).field("ok", false).field("error", error);
+      out.print();
+    } else {
+      std::fprintf(stderr, "fd-tracedb: repair failed: %s\n", error.c_str());
+    }
+    return 2;
+  }
+  if (json) {
+    JsonOut out;
+    out.field("archive", in)
+        .field("repaired", out_path)
+        .field("ok", true)
+        .field("records_kept", report.records_kept)
+        .field("chunks_kept", report.chunks_kept)
+        .field("chunks_dropped", report.chunks_dropped)
+        .field("dropped_chunks", std::span<const std::size_t>(report.dropped_chunks))
+        .field("dropped_records",
+               std::span<const std::size_t>(report.dropped_record_ordinals))
+        .field("truncated_tail", report.truncated_tail);
+    out.print();
+    return report.chunks_dropped == 0 && !report.truncated_tail ? 0 : 1;
+  }
+  std::printf("repaired %s -> %s: kept %zu records (%zu chunks), dropped %zu chunk%s%s\n",
+              in.c_str(), out_path.c_str(), report.records_kept, report.chunks_kept,
+              report.chunks_dropped, report.chunks_dropped == 1 ? "" : "s",
+              report.truncated_tail ? ", truncated tail" : "");
+  for (const std::size_t o : report.dropped_chunks) {
+    std::printf("  dropped chunk #%zu (CRC mismatch)\n", o);
+  }
+  if (!report.dropped_record_ordinals.empty()) {
+    std::printf("  dropped record ordinals:");
+    for (const std::size_t r : report.dropped_record_ordinals) std::printf(" %zu", r);
+    std::printf("\n");
+  }
+  return report.chunks_dropped == 0 && !report.truncated_tail ? 0 : 1;
+}
+
 int cmd_merge(const std::string& out, std::span<const std::string> inputs) {
   std::string error;
   if (!merge_archives(inputs, out, &error)) {
@@ -264,6 +308,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: fd-tracedb info <archive> [--json]\n"
                "       fd-tracedb verify <archive> [--json]\n"
+               "       fd-tracedb repair <in> <out> [--json]\n"
                "       fd-tracedb merge <out> <in1> <in2> [...]\n"
                "       fd-tracedb split <in> <out-prefix> <k>\n"
                "       fd-tracedb export-csv <archive> [slot [max_records]]\n");
@@ -287,6 +332,10 @@ int main(int argc, char** argv) {
   const std::string& cmd = args[0];
   if (cmd == "info") return cmd_info(args[1], json);
   if (cmd == "verify") return cmd_verify(args[1], json);
+  if (cmd == "repair") {
+    if (args.size() < 3) return usage();
+    return cmd_repair(args[1], args[2], json);
+  }
   if (cmd == "merge") {
     if (args.size() < 3) return usage();
     const std::vector<std::string> inputs(args.begin() + 2, args.end());
