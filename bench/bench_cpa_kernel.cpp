@@ -1,0 +1,197 @@
+// The blocked CPA kernel vs the naive per-trace fold, and the
+// single-pass multi-component archive driver vs one scan per component.
+//
+//   ./bench_cpa_kernel [traces] [--json out.jsonl]
+//   (default: 20000 traces for the fold shapes, 240 for the archive)
+//
+// Fold shapes: g49/s1 is the default attack shape (the exponent phase's
+// 49-guess scan over one sample column); g49/s17 folds a full fpr_mul
+// window; g256/s17 is the wide-hypothesis stress shape. batch=1 is the
+// exact naive per-trace reference fold (same arithmetic the engine
+// always produced), batch=64 the blocked kernel -- the speedup column
+// is the tentpole acceptance number (>= 2x at the default shape).
+//
+// The archive comparison attacks all 2N exponent components of a
+// FALCON-16 campaign twice: per-component streaming (2N archive scans,
+// run_cpa_streaming_many) vs the single-pass demux
+// (run_cpa_streaming_multi, ONE scan). Rankings are cross-checked:
+// the speedup must come with bit-identical results.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "attack/parallel_attack.h"
+#include "attack/streaming_cpa.h"
+#include "bench_harness.h"
+#include "common/rng.h"
+#include "falcon/falcon.h"
+#include "sca/campaign.h"
+#include "tracestore/archive.h"
+
+using namespace fd;
+
+namespace {
+
+struct FoldData {
+  std::size_t guesses = 0;
+  std::size_t samples = 0;
+  std::vector<std::vector<double>> hyps;   // [trace][guess]
+  std::vector<std::vector<float>> traces;  // [trace][sample]
+};
+
+FoldData make_data(std::size_t traces, std::size_t guesses, std::size_t samples,
+                   std::uint64_t seed) {
+  ChaCha20Prng rng(seed);
+  FoldData d;
+  d.guesses = guesses;
+  d.samples = samples;
+  d.hyps.resize(traces);
+  d.traces.resize(traces);
+  for (std::size_t t = 0; t < traces; ++t) {
+    d.hyps[t].resize(guesses);
+    for (std::size_t g = 0; g < guesses; ++g) {
+      d.hyps[t][g] = static_cast<double>(rng.next_u8() & 0x3F);
+    }
+    d.traces[t].resize(samples);
+    for (std::size_t s = 0; s < samples; ++s) {
+      d.traces[t][s] = static_cast<float>(d.hyps[t][0] + 2.0 * rng.gaussian());
+    }
+  }
+  return d;
+}
+
+// Best-of-reps wall time of one full fold (construct, add every trace,
+// flush via a correlation read). The read also keeps the optimizer
+// honest.
+double fold_ms(const FoldData& d, const attack::CpaKernelConfig& cfg, int reps,
+               double& sink) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    bench::WallTimer timer;
+    attack::CpaEngine engine(d.guesses, d.samples, cfg);
+    for (std::size_t t = 0; t < d.hyps.size(); ++t) {
+      engine.add_trace(d.hyps[t], d.traces[t]);
+    }
+    sink += engine.correlation(0, 0);
+    best = std::min(best, timer.ms());
+  }
+  return best;
+}
+
+attack::StreamingCpaSpec exponent_spec(std::size_t slot, bool imag) {
+  attack::StreamingCpaSpec spec;
+  spec.slot = slot;
+  spec.imag_part = imag;
+  spec.sample_offsets = {sca::window::kOffExpSum};
+  for (std::uint32_t e = 1005; e <= 1053; ++e) spec.guesses.push_back(e);
+  spec.model = [](std::uint32_t guess, const attack::KnownOperand& k) {
+    return attack::hyp_exponent(guess, k);
+  };
+  return spec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::Harness harness("cpa_kernel", argc, argv);
+  const std::size_t fold_traces =
+      argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 20000;
+
+  // --- blocked kernel vs naive per-trace fold -----------------------------
+  struct Shape {
+    std::size_t guesses, samples;
+  };
+  const Shape shapes[] = {{49, 1}, {49, 17}, {256, 17}};
+  const int reps = 5;
+  double sink = 0.0;
+
+  std::printf("CPA fold: naive (batch=1) vs blocked (batch=64), %zu traces, best of %d\n\n",
+              fold_traces, reps);
+  std::printf("%-12s %12s %12s %10s %14s\n", "shape", "naive_ms", "blocked_ms", "speedup",
+              "Mcells/s");
+  for (const auto& sh : shapes) {
+    const FoldData d = make_data(fold_traces, sh.guesses, sh.samples, 0xF01D + sh.guesses);
+    const double naive_ms = fold_ms(d, {.batch_traces = 1}, reps, sink);
+    const double blocked_ms = fold_ms(d, {.batch_traces = 64}, reps, sink);
+    const double speedup = naive_ms / blocked_ms;
+    const double mcells =
+        static_cast<double>(fold_traces * sh.guesses * sh.samples) / (blocked_ms * 1e3);
+    const std::string label =
+        "g" + std::to_string(sh.guesses) + "_s" + std::to_string(sh.samples);
+    std::printf("%-12s %12.1f %12.1f %9.2fx %14.1f\n", label.c_str(), naive_ms, blocked_ms,
+                speedup, mcells);
+    const std::string params = "traces=" + std::to_string(fold_traces) +
+                               " guesses=" + std::to_string(sh.guesses) +
+                               " samples=" + std::to_string(sh.samples);
+    harness.report("fold_naive_" + label, params, naive_ms);
+    harness.report("fold_blocked_" + label, params, blocked_ms, speedup, "x_vs_naive");
+  }
+
+  // --- single-pass demux vs one archive scan per component ----------------
+  const unsigned logn = 4;
+  const std::size_t campaign_traces = 240;
+  ChaCha20Prng rng("cpa kernel bench key");
+  const auto kp = falcon::keygen(logn, rng);
+  sca::CampaignConfig camp;
+  camp.num_traces = campaign_traces;
+  camp.device.noise_sigma = 2.0;
+  camp.seed = 0xF01D;
+  const std::string path = "bench_cpa_kernel.fdtrace";
+  if (!sca::run_campaign_to_archive(kp.sk, camp, path).ok) {
+    std::fprintf(stderr, "capture failed\n");
+    return 2;
+  }
+
+  const std::size_t hn = kp.sk.params.n >> 1;
+  std::vector<attack::StreamingCpaSpec> specs;
+  for (std::size_t slot = 0; slot < hn; ++slot) {
+    specs.push_back(exponent_spec(slot, false));
+    specs.push_back(exponent_spec(slot, true));
+  }
+  const std::string params = "logn=" + std::to_string(logn) +
+                             " traces=" + std::to_string(campaign_traces) +
+                             " components=" + std::to_string(specs.size());
+
+  bench::WallTimer timer;
+  std::vector<attack::CpaEngine> per_component;
+  std::string err;
+  if (!attack::run_cpa_streaming_many(path, specs, nullptr, per_component, &err)) {
+    std::fprintf(stderr, "per-component streaming failed: %s\n", err.c_str());
+    return 2;
+  }
+  const double many_ms = timer.ms();
+
+  tracestore::ArchiveReader reader;
+  if (!reader.open(path)) {
+    std::fprintf(stderr, "reopen failed: %s\n", reader.error().c_str());
+    return 2;
+  }
+  timer.reset();
+  const std::vector<attack::CpaEngine> demuxed =
+      attack::run_cpa_streaming_multi(reader, specs);
+  const double multi_ms = timer.ms();
+  std::remove(path.c_str());
+
+  // The speedup only counts if the results are identical.
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    if (demuxed[i].ranking() != per_component[i].ranking()) {
+      std::fprintf(stderr, "ranking mismatch on spec %zu\n", i);
+      return 2;
+    }
+  }
+
+  const double speedup = many_ms / multi_ms;
+  std::printf("\nall-%zu-component exponent attack, FALCON-%zu, %zu traces:\n", specs.size(),
+              kp.pk.params.n, campaign_traces);
+  std::printf("%-22s %10.1f ms  (%zu archive scans)\n", "per_component", many_ms,
+              specs.size());
+  std::printf("%-22s %10.1f ms  (1 archive scan), %.2fx\n", "single_pass_demux", multi_ms,
+              speedup);
+  harness.report("archive_per_component", params, many_ms);
+  harness.report("archive_single_pass", params, multi_ms, speedup, "x_vs_per_component");
+
+  if (sink == 12345.0) std::printf("%f\n", sink);  // defeat dead-code elimination
+  return 0;
+}

@@ -25,47 +25,33 @@ double confidence_z(double confidence) {
   return 0.5 * (lo + hi);
 }
 
-CpaEngine::CpaEngine(std::size_t num_guesses, std::size_t num_samples)
-    : g_(num_guesses),
-      s_(num_samples),
-      sum_h_(num_guesses, 0.0),
-      sum_h2_(num_guesses, 0.0),
-      sum_t_(num_samples, 0.0),
-      sum_t2_(num_samples, 0.0),
-      sum_ht_(num_guesses * num_samples, 0.0) {}
+CpaEngine::CpaEngine(std::size_t num_guesses, std::size_t num_samples,
+                     CpaKernelConfig kernel, CpaRankMode rank_mode)
+    : mode_(rank_mode), kernel_(num_guesses, num_samples, kernel) {
+  sums_.reset(num_guesses, num_samples);
+}
 
 void CpaEngine::add_trace(std::span<const double> hypotheses, std::span<const float> samples) {
-  assert(hypotheses.size() == g_ && samples.size() == s_);
-  for (std::size_t s = 0; s < s_; ++s) {
-    sum_t_[s] += samples[s];
-    sum_t2_[s] += static_cast<double>(samples[s]) * samples[s];
-  }
-  for (std::size_t g = 0; g < g_; ++g) {
-    const double h = hypotheses[g];
-    sum_h_[g] += h;
-    sum_h2_[g] += h * h;
-    double* row = &sum_ht_[g * s_];
-    for (std::size_t s = 0; s < s_; ++s) row[s] += h * samples[s];
-  }
-  ++d_;
+  kernel_.add_trace(sums_, hypotheses, samples);
 }
 
 double CpaEngine::correlation(std::size_t guess, std::size_t sample) const {
-  const double dn = static_cast<double>(d_);
-  const double var_h = dn * sum_h2_[guess] - sum_h_[guess] * sum_h_[guess];
-  const double var_t = dn * sum_t2_[sample] - sum_t_[sample] * sum_t_[sample];
-  const double cov = dn * sum_ht_[guess * s_ + sample] - sum_h_[guess] * sum_t_[sample];
-  const double denom = var_h * var_t;
-  return denom > 0.0 ? cov / std::sqrt(denom) : 0.0;
+  kernel_.flush(sums_);
+  return sums_.correlation(guess, sample);
 }
 
 double CpaEngine::peak(std::size_t guess) const {
+  kernel_.flush(sums_);
   double best = -2.0;
-  for (std::size_t s = 0; s < s_; ++s) best = std::max(best, correlation(guess, s));
+  for (std::size_t s = 0; s < sums_.num_samples; ++s) {
+    const double r = sums_.correlation(guess, s);
+    best = std::max(best, mode_ == CpaRankMode::kAbsPeak ? std::fabs(r) : r);
+  }
   return best;
 }
 
 std::vector<std::size_t> CpaEngine::ranking() const {
+  const std::size_t g_ = sums_.num_guesses;
   std::vector<double> peaks(g_);
   for (std::size_t g = 0; g < g_; ++g) peaks[g] = peak(g);
   std::vector<std::size_t> order(g_);
@@ -75,22 +61,29 @@ std::vector<std::size_t> CpaEngine::ranking() const {
   return order;
 }
 
-StreamingScan::StreamingScan(std::vector<std::vector<float>> sample_columns)
-    : cols_(std::move(sample_columns)) {
-  assert(!cols_.empty());
-  d_ = cols_[0].size();
-  col_mean_.resize(cols_.size());
-  col_var_.resize(cols_.size());
+StreamingScan::StreamingScan(std::vector<std::vector<float>> sample_columns,
+                             CpaKernelConfig kernel)
+    : kernel_(kernel) {
+  assert(!sample_columns.empty());
+  d_ = sample_columns[0].size();
+  cols_.resize(sample_columns.size());
+  col_sum_.resize(sample_columns.size());
+  col_var_.resize(sample_columns.size());
   const double dn = static_cast<double>(d_);
-  for (std::size_t c = 0; c < cols_.size(); ++c) {
-    assert(cols_[c].size() == d_);
-    double st = 0.0;
-    double st2 = 0.0;
-    for (const float v : cols_[c]) {
-      st += v;
-      st2 += static_cast<double>(v) * v;
-    }
-    col_mean_[c] = st / dn;
+  for (std::size_t c = 0; c < sample_columns.size(); ++c) {
+    const auto& src = sample_columns[c];
+    assert(src.size() == d_);
+    // Store the column shifted by its first trace: Pearson r is
+    // shift-invariant, and the dn*st2 - st*st form below no longer
+    // cancels catastrophically when the raw samples carry a large DC
+    // offset (the old float-column code silently zeroed r there).
+    auto& col = cols_[c];
+    col.resize(d_);
+    const double t0 = d_ > 0 ? static_cast<double>(src[0]) : 0.0;
+    for (std::size_t t = 0; t < d_; ++t) col[t] = static_cast<double>(src[t]) - t0;
+    const double st = lanes4_sum(col.data(), d_);
+    const double st2 = lanes4_sumsq(col.data(), d_);
+    col_sum_[c] = st;
     col_var_[c] = dn * st2 - st * st;
   }
 }

@@ -5,12 +5,20 @@
 // between per-guess Hamming-weight predictions and trace samples,
 // accumulated incrementally so that the correlation-vs-trace-count
 // evolution (Fig. 4 e-h) falls out of snapshots of the same pass.
+//
+// The accumulation itself lives in cpa_kernel.h: traces are buffered in
+// batches and folded blocked (see that header for the canonical-order
+// and shifted-data contracts). CpaEngine and StreamingScan are both
+// thin owners of that kernel, so the streamed and in-memory attack
+// paths share one arithmetic by construction.
 
 #include <cmath>
 #include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
+
+#include "attack/cpa_kernel.h"
 
 namespace fd::attack {
 
@@ -21,41 +29,63 @@ namespace fd::attack {
   return confidence_z(confidence) / std::sqrt(static_cast<double>(num_traces));
 }
 
+// How peak()/ranking() score a guess across sample points.
+enum class CpaRankMode {
+  // Paper-faithful: rank by max |r|. An inverted leakage model (HW
+  // anti-correlated with the measured amplitude) leaks exactly as much
+  // as the upright one; signed ranking is blind to it.
+  kAbsPeak,
+  // Legacy behavior: rank by the signed maximum correlation.
+  kSignedMax,
+};
+
 // Incremental Pearson-correlation accumulator over G guesses x S samples.
 class CpaEngine {
  public:
-  CpaEngine(std::size_t num_guesses, std::size_t num_samples);
+  explicit CpaEngine(std::size_t num_guesses, std::size_t num_samples,
+                     CpaKernelConfig kernel = {},
+                     CpaRankMode rank_mode = CpaRankMode::kAbsPeak);
 
   // hypotheses: G predicted leakage values; samples: S trace samples.
   void add_trace(std::span<const double> hypotheses, std::span<const float> samples);
 
-  [[nodiscard]] std::size_t num_traces() const { return d_; }
-  [[nodiscard]] std::size_t num_guesses() const { return g_; }
-  [[nodiscard]] std::size_t num_samples() const { return s_; }
+  [[nodiscard]] std::size_t num_traces() const { return sums_.traces; }
+  [[nodiscard]] std::size_t num_guesses() const { return sums_.num_guesses; }
+  [[nodiscard]] std::size_t num_samples() const { return sums_.num_samples; }
+  [[nodiscard]] CpaRankMode rank_mode() const { return mode_; }
+  [[nodiscard]] const CpaKernelConfig& kernel_config() const { return kernel_.config(); }
 
   // Pearson r for one (guess, sample); 0 when either side is constant.
+  // Reads flush any batched tail first, so they are always exact.
   [[nodiscard]] double correlation(std::size_t guess, std::size_t sample) const;
-  // max over samples of r(guess, sample) -- the "leakiest point" score.
+  // The "leakiest point" score: max over samples of |r| (kAbsPeak,
+  // returned as the magnitude) or of signed r (kSignedMax).
   [[nodiscard]] double peak(std::size_t guess) const;
   // Guess indices sorted by descending peak().
   [[nodiscard]] std::vector<std::size_t> ranking() const;
 
  private:
-  std::size_t g_, s_;
-  std::size_t d_ = 0;
-  std::vector<double> sum_h_, sum_h2_;   // per guess
-  std::vector<double> sum_t_, sum_t2_;   // per sample
-  std::vector<double> sum_ht_;           // per guess x sample
+  CpaRankMode mode_;
+  // Reads must fold the buffered tail; the buffer is pure caching
+  // state, so it is mutable behind the const accessors.
+  mutable CpaBatchKernel kernel_;
+  mutable CpaSums sums_;
 };
 
 // Memory-light streaming scan for huge guess spaces (the 2^25 / 2^27
 // exhaustive enumerations): traces are stored once, then each guess is
 // scored in a single pass without per-guess state. Scores are the mean,
 // over the provided sample columns, of the Pearson correlation.
+//
+// Columns are stored shifted by their first trace (doubles), and the
+// per-guess fold runs block-batched in the kernel's 4-lane order, so
+// scores are a pure function of (columns, kernel.batch_traces) -- same
+// contract as CpaEngine.
 class StreamingScan {
  public:
   // samples: column-major: samples[col][trace].
-  explicit StreamingScan(std::vector<std::vector<float>> sample_columns);
+  explicit StreamingScan(std::vector<std::vector<float>> sample_columns,
+                         CpaKernelConfig kernel = {});
 
   struct Scored {
     std::uint32_t guess;
@@ -81,8 +111,9 @@ class StreamingScan {
   [[nodiscard]] std::vector<Scored> top_k_impl(std::uint64_t count, GuessAt&& guess_at,
                                                ModelFn&& model, std::size_t keep) const;
 
-  std::vector<std::vector<float>> cols_;
-  std::vector<double> col_mean_, col_var_;  // D*var actually: centered sums
+  CpaKernelConfig kernel_;
+  std::vector<std::vector<double>> cols_;   // shifted by the first trace
+  std::vector<double> col_sum_, col_var_;   // shifted sums / dn*var forms
   std::size_t d_;
 };
 
@@ -96,6 +127,8 @@ std::vector<StreamingScan::Scored> StreamingScan::top_k_impl(std::uint64_t count
   std::vector<Scored> best;
   best.reserve(keep + 1);
   const double dn = static_cast<double>(d_);
+  const std::size_t bsz = kernel_.batch_traces == 0 ? 1 : kernel_.batch_traces;
+  std::vector<double> hblk(bsz);
   for (std::uint64_t gi = 0; gi < count; ++gi) {
     const std::uint32_t guess = guess_at(gi);
     double score_sum = 0.0;
@@ -103,15 +136,23 @@ std::vector<StreamingScan::Scored> StreamingScan::top_k_impl(std::uint64_t count
       double sh = 0.0;
       double sh2 = 0.0;
       double sht = 0.0;
-      const auto& col = cols_[c];
-      for (std::size_t t = 0; t < d_; ++t) {
-        const double h = model(guess, t, c);
-        sh += h;
-        sh2 += h * h;
-        sht += h * col[t];
+      if (d_ > 0) {
+        // Shift hypotheses by the first trace's prediction, mirroring
+        // the column shift: the one-pass moment forms below then stay
+        // cancellation-safe under arbitrary DC offsets.
+        const double h0 = model(guess, 0, c);
+        const double* col = cols_[c].data();
+        for (std::size_t t0 = 0; t0 < d_; t0 += bsz) {
+          const std::size_t n = std::min(bsz, d_ - t0);
+          for (std::size_t b = 0; b < n; ++b) hblk[b] = model(guess, t0 + b, c) - h0;
+          const HFold f = lanes4_fold_h(hblk.data(), col + t0, n);
+          sh += f.sh;
+          sh2 += f.sh2;
+          sht += f.sht;
+        }
       }
       const double var_h = dn * sh2 - sh * sh;
-      const double cov = dn * sht - sh * (col_mean_[c] * dn);
+      const double cov = dn * sht - sh * col_sum_[c];
       const double denom = var_h * col_var_[c];
       score_sum += denom > 0.0 ? cov / std::sqrt(denom) : 0.0;
     }

@@ -1,0 +1,197 @@
+#include "attack/cpa_kernel.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace fd::attack {
+
+// --- fixed-order reduction primitives -------------------------------------
+
+double lanes4_sum(const double* x, std::size_t n) {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    l0 += x[i];
+    l1 += x[i + 1];
+    l2 += x[i + 2];
+    l3 += x[i + 3];
+  }
+  if (i < n) l0 += x[i];
+  if (i + 1 < n) l1 += x[i + 1];
+  if (i + 2 < n) l2 += x[i + 2];
+  return (l0 + l1) + (l2 + l3);
+}
+
+double lanes4_sumsq(const double* x, std::size_t n) {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    l0 += x[i] * x[i];
+    l1 += x[i + 1] * x[i + 1];
+    l2 += x[i + 2] * x[i + 2];
+    l3 += x[i + 3] * x[i + 3];
+  }
+  if (i < n) l0 += x[i] * x[i];
+  if (i + 1 < n) l1 += x[i + 1] * x[i + 1];
+  if (i + 2 < n) l2 += x[i + 2] * x[i + 2];
+  return (l0 + l1) + (l2 + l3);
+}
+
+double lanes4_dot(const double* a, const double* b, std::size_t n) {
+  double l0 = 0.0, l1 = 0.0, l2 = 0.0, l3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    l0 += a[i] * b[i];
+    l1 += a[i + 1] * b[i + 1];
+    l2 += a[i + 2] * b[i + 2];
+    l3 += a[i + 3] * b[i + 3];
+  }
+  if (i < n) l0 += a[i] * b[i];
+  if (i + 1 < n) l1 += a[i + 1] * b[i + 1];
+  if (i + 2 < n) l2 += a[i + 2] * b[i + 2];
+  return (l0 + l1) + (l2 + l3);
+}
+
+HFold lanes4_fold_h(const double* h, const double* t, std::size_t n) {
+  double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+  double q0 = 0.0, q1 = 0.0, q2 = 0.0, q3 = 0.0;
+  double d0 = 0.0, d1 = 0.0, d2 = 0.0, d3 = 0.0;
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    s0 += h[i];
+    s1 += h[i + 1];
+    s2 += h[i + 2];
+    s3 += h[i + 3];
+    q0 += h[i] * h[i];
+    q1 += h[i + 1] * h[i + 1];
+    q2 += h[i + 2] * h[i + 2];
+    q3 += h[i + 3] * h[i + 3];
+    d0 += h[i] * t[i];
+    d1 += h[i + 1] * t[i + 1];
+    d2 += h[i + 2] * t[i + 2];
+    d3 += h[i + 3] * t[i + 3];
+  }
+  if (i < n) {
+    s0 += h[i];
+    q0 += h[i] * h[i];
+    d0 += h[i] * t[i];
+  }
+  if (i + 1 < n) {
+    s1 += h[i + 1];
+    q1 += h[i + 1] * h[i + 1];
+    d1 += h[i + 1] * t[i + 1];
+  }
+  if (i + 2 < n) {
+    s2 += h[i + 2];
+    q2 += h[i + 2] * h[i + 2];
+    d2 += h[i + 2] * t[i + 2];
+  }
+  HFold out;
+  out.sh = (s0 + s1) + (s2 + s3);
+  out.sh2 = (q0 + q1) + (q2 + q3);
+  out.sht = (d0 + d1) + (d2 + d3);
+  return out;
+}
+
+// --- CpaSums ---------------------------------------------------------------
+
+void CpaSums::reset(std::size_t g, std::size_t s) {
+  num_guesses = g;
+  num_samples = s;
+  traces = 0;
+  have_ref = false;
+  ref_h.assign(g, 0.0);
+  ref_t.assign(s, 0.0);
+  sum_h.assign(g, 0.0);
+  sum_h2.assign(g, 0.0);
+  sum_t.assign(s, 0.0);
+  sum_t2.assign(s, 0.0);
+  sum_ht.assign(g * s, 0.0);
+}
+
+double CpaSums::correlation(std::size_t guess, std::size_t sample) const {
+  assert(guess < num_guesses && sample < num_samples);
+  if (traces < 2) return 0.0;
+  const double dn = static_cast<double>(traces);
+  const double sh = sum_h[guess];
+  const double st = sum_t[sample];
+  // Shifted-data moments: with every value entering as (x - x_first)
+  // these no longer cancel catastrophically under a large DC offset.
+  const double cov = dn * sum_ht[guess * num_samples + sample] - sh * st;
+  const double var_h = dn * sum_h2[guess] - sh * sh;
+  const double var_t = dn * sum_t2[sample] - st * st;
+  if (var_h <= 0.0 || var_t <= 0.0) return 0.0;
+  return cov / std::sqrt(var_h * var_t);
+}
+
+// --- CpaBatchKernel --------------------------------------------------------
+
+CpaBatchKernel::CpaBatchKernel(std::size_t num_guesses, std::size_t num_samples,
+                               CpaKernelConfig config)
+    : g_(num_guesses), s_(num_samples), cfg_(config) {
+  if (cfg_.batch_traces == 0) cfg_.batch_traces = 1;
+  if (cfg_.guess_block == 0) cfg_.guess_block = 1;
+  if (cfg_.sample_block == 0) cfg_.sample_block = 1;
+  hbuf_.assign(g_ * cfg_.batch_traces, 0.0);
+  tbuf_.assign(s_ * cfg_.batch_traces, 0.0);
+}
+
+void CpaBatchKernel::add_trace(CpaSums& sums, std::span<const double> hypotheses,
+                               std::span<const float> samples) {
+  assert(hypotheses.size() == g_ && samples.size() == s_);
+  if (sums.num_guesses != g_ || sums.num_samples != s_) sums.reset(g_, s_);
+  if (!sums.have_ref) {
+    for (std::size_t g = 0; g < g_; ++g) sums.ref_h[g] = hypotheses[g];
+    for (std::size_t s = 0; s < s_; ++s) sums.ref_t[s] = static_cast<double>(samples[s]);
+    sums.have_ref = true;
+  }
+  const std::size_t b = cfg_.batch_traces;
+  const std::size_t p = pending_;
+  for (std::size_t g = 0; g < g_; ++g) hbuf_[g * b + p] = hypotheses[g] - sums.ref_h[g];
+  for (std::size_t s = 0; s < s_; ++s)
+    tbuf_[s * b + p] = static_cast<double>(samples[s]) - sums.ref_t[s];
+  ++pending_;
+  ++sums.traces;
+  if (pending_ == b) fold_batch(sums);
+}
+
+void CpaBatchKernel::flush(CpaSums& sums) {
+  if (pending_ > 0) fold_batch(sums);
+}
+
+void CpaBatchKernel::fold_batch(CpaSums& sums) {
+  const std::size_t b = cfg_.batch_traces;
+  const std::size_t n = pending_;
+  // Sample-side moments first (each cell updated once per batch).
+  for (std::size_t s = 0; s < s_; ++s) {
+    const double* row = tbuf_.data() + s * b;
+    sums.sum_t[s] += lanes4_sum(row, n);
+    sums.sum_t2[s] += lanes4_sumsq(row, n);
+  }
+  // Tiled H^T.S update: guess tiles x sample tiles, each sum_ht cell a
+  // length-n dot product over contiguous rows. Tiling only reorders
+  // *which cell* is visited next, never the reduction inside a cell, so
+  // the tile sizes cannot change any value.
+  for (std::size_t g0 = 0; g0 < g_; g0 += cfg_.guess_block) {
+    const std::size_t g1 = std::min(g_, g0 + cfg_.guess_block);
+    for (std::size_t s0 = 0; s0 < s_; s0 += cfg_.sample_block) {
+      const std::size_t s1 = std::min(s_, s0 + cfg_.sample_block);
+      for (std::size_t g = g0; g < g1; ++g) {
+        const double* hrow = hbuf_.data() + g * b;
+        if (s0 == 0) {
+          // Guess-side moments ride the first sample tile so the hrow
+          // load is shared with the dot products below.
+          sums.sum_h[g] += lanes4_sum(hrow, n);
+          sums.sum_h2[g] += lanes4_sumsq(hrow, n);
+        }
+        double* ht = sums.sum_ht.data() + g * s_;
+        for (std::size_t s = s0; s < s1; ++s) {
+          ht[s] += lanes4_dot(hrow, tbuf_.data() + s * b, n);
+        }
+      }
+    }
+  }
+  pending_ = 0;
+}
+
+}  // namespace fd::attack

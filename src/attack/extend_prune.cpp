@@ -79,7 +79,7 @@ namespace {
 
 PhaseOutcome run_scan(const ComponentDataset& ds, std::span<const std::size_t> offsets,
                       std::span<const std::uint32_t> candidates, std::size_t keep,
-                      auto&& model_for_offset) {
+                      const CpaKernelConfig& kernel, auto&& model_for_offset) {
   // Build one column per (view, offset) pair.
   std::vector<std::vector<float>> cols;
   std::vector<std::pair<unsigned, std::size_t>> col_meta;  // (view, offset)
@@ -89,7 +89,7 @@ PhaseOutcome run_scan(const ComponentDataset& ds, std::span<const std::size_t> o
       col_meta.emplace_back(v, off);
     }
   }
-  StreamingScan scan(std::move(cols));
+  StreamingScan scan(std::move(cols), kernel);
   auto model = [&](std::uint32_t guess, std::size_t t, std::size_t c) {
     const auto [view, off] = col_meta[c];
     return model_for_offset(guess, ds.views[view].known[t], off);
@@ -168,7 +168,7 @@ std::uint64_t assemble_bits(bool sign, unsigned exponent, std::uint32_t x1, std:
 PhaseOutcome attack_low_mul_only(const ComponentDataset& ds,
                                  std::span<const std::uint32_t> candidates, std::size_t keep) {
   const std::size_t offsets[] = {ww::kOffProdLL, ww::kOffProdLH};
-  return run_scan(ds, offsets, candidates, keep,
+  return run_scan(ds, offsets, candidates, keep, CpaKernelConfig{},
                   [](std::uint32_t g, const KnownOperand& k, std::size_t off) {
                     return off == ww::kOffProdLL ? hyp_low_mul_ll(g, k) : hyp_low_mul_lh(g, k);
                   });
@@ -183,7 +183,7 @@ ComponentResult attack_component(const ComponentDataset& ds,
   {
     const std::size_t offsets[] = {ww::kOffSign};
     const std::uint32_t guesses[] = {0, 1};
-    res.sign_phase = run_scan(ds, offsets, guesses, 2,
+    res.sign_phase = run_scan(ds, offsets, guesses, 2, config.kernel,
                               [](std::uint32_t g, const KnownOperand& k, std::size_t) {
                                 return hyp_sign(g != 0, k);
                               });
@@ -199,7 +199,7 @@ ComponentResult attack_component(const ComponentDataset& ds,
     std::vector<std::uint32_t> guesses;
     guesses.reserve(config.exp_max - config.exp_min + 1);
     for (std::uint32_t e = config.exp_min; e <= config.exp_max; ++e) guesses.push_back(e);
-    res.exp_phase = run_scan(ds, offsets, guesses, guesses.size(),
+    res.exp_phase = run_scan(ds, offsets, guesses, guesses.size(), config.kernel,
                              [](std::uint32_t g, const KnownOperand& k, std::size_t) {
                                return hyp_exponent(g, k);
                              });
@@ -274,7 +274,7 @@ ComponentResult attack_component(const ComponentDataset& ds,
     }
     const std::size_t mul_offsets[] = {ww::kOffProdLL, ww::kOffProdLH};
     res.low_extend =
-        run_scan(ds, mul_offsets, cands, config.extend_top_k,
+        run_scan(ds, mul_offsets, cands, config.extend_top_k, config.kernel,
                  [](std::uint32_t g, const KnownOperand& k, std::size_t off) {
                    return off == ww::kOffProdLL ? hyp_low_mul_ll(g, k) : hyp_low_mul_lh(g, k);
                  });
@@ -285,7 +285,7 @@ ComponentResult attack_component(const ComponentDataset& ds,
     survivors.reserve(res.low_extend.top.size());
     for (const auto& s : res.low_extend.top) survivors.push_back(s.guess);
     const std::size_t add_offsets[] = {ww::kOffAccZ1a};
-    res.low_prune = run_scan(ds, add_offsets, survivors, survivors.size(),
+    res.low_prune = run_scan(ds, add_offsets, survivors, survivors.size(), config.kernel,
                              [](std::uint32_t g, const KnownOperand& k, std::size_t) {
                                return hyp_low_add_z1a(g, k);
                              });
@@ -306,7 +306,7 @@ ComponentResult attack_component(const ComponentDataset& ds,
     }
     const std::size_t mul_offsets[] = {ww::kOffProdHL, ww::kOffProdHH};
     res.high_extend =
-        run_scan(ds, mul_offsets, cands, config.extend_top_k,
+        run_scan(ds, mul_offsets, cands, config.extend_top_k, config.kernel,
                  [](std::uint32_t g, const KnownOperand& k, std::size_t off) {
                    return off == ww::kOffProdHL ? hyp_high_mul_hl(g, k) : hyp_high_mul_hh(g, k);
                  });
@@ -317,7 +317,7 @@ ComponentResult attack_component(const ComponentDataset& ds,
     for (const auto& s : res.high_extend.top) survivors.push_back(s.guess);
     const std::size_t add_offsets[] = {ww::kOffAccZ1b, ww::kOffAccZu};
     const std::uint32_t x0 = res.x0;
-    res.high_prune = run_scan(ds, add_offsets, survivors, survivors.size(),
+    res.high_prune = run_scan(ds, add_offsets, survivors, survivors.size(), config.kernel,
                               [x0](std::uint32_t g, const KnownOperand& k, std::size_t off) {
                                 return off == ww::kOffAccZu ? hyp_high_add_zu(g, x0, k)
                                                             : hyp_high_add_z1b(g, x0, k);

@@ -64,6 +64,11 @@ struct MantissaCandidates {
 
 struct ComponentAttackConfig {
   std::size_t extend_top_k = 16;
+  // CPA accumulation kernel driving every phase's StreamingScan. The
+  // batch size is part of the scores' numerical identity (ULP-level
+  // reassociation, see cpa_kernel.h), so pipelines hash it into their
+  // experiment id.
+  CpaKernelConfig kernel;
   // Candidate lists; empty means exhaustive enumeration of the full
   // space (2^25 / 2^27 guesses -- minutes of CPU per component).
   std::vector<std::uint32_t> low_candidates;

@@ -75,6 +75,7 @@ ComponentAttackConfig component_attack_config(const falcon::SecretKey& victim_sk
 
   ComponentAttackConfig cac;
   cac.extend_top_k = config.extend_top_k;
+  cac.kernel.batch_traces = config.cpa_batch;
   cac.obs_label = "slot" + std::to_string(slot) + (imag ? ".im" : ".re");
   if (row == 1) {
     // FFT(F) components are larger than FFT(f)'s: shift the

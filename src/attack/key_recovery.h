@@ -30,6 +30,11 @@ struct KeyRecoveryConfig {
   std::size_t extend_top_k = 16;
   // 0 => exhaustive enumeration; otherwise adversarial candidate count.
   std::size_t adversarial_random = 150;
+  // CPA kernel batch size (cpa_kernel.h): traces buffered per blocked
+  // fold. Part of the result's numerical identity (ULP-level
+  // reassociation inside a batch), so it joins the experiment hash;
+  // 1 reproduces the exact naive per-trace fold.
+  std::size_t cpa_batch = kDefaultCpaBatch;
   std::uint64_t seed = 1;
   // Worker threads for the per-component attack fan-out (src/exec).
   // 1 runs the serial path; any value yields bit-identical results --

@@ -1,5 +1,6 @@
 #include "attack/parallel_attack.h"
 
+#include <algorithm>
 #include <mutex>
 #include <optional>
 
@@ -8,6 +9,18 @@
 #include "obs/span.h"
 
 namespace fd::attack {
+
+namespace {
+
+// One count per record-reading pass an attack-layer caller starts over
+// an archive. The single-pass pins (tests, DESIGN.md section 11) watch
+// this counter; capture-side readers (shard merging, record counting)
+// deliberately don't feed it.
+void count_archive_scan() {
+  obs::MetricsRegistry::global().counter("attack.archive.scans").add(1);
+}
+
+}  // namespace
 
 std::vector<ComponentResult> attack_all_components_parallel(
     const std::vector<sca::TraceSet>& sets, const ComponentConfigFn& config_for,
@@ -34,7 +47,7 @@ bool attack_all_components_from_archive(const std::string& archive_path,
                                         const ComponentConfigFn& config_for,
                                         exec::ThreadPool* pool,
                                         std::vector<ComponentResult>& out,
-                                        std::string* error) {
+                                        std::string* error, bool single_pass) {
   obs::Span span("attack.all_components.archive");
   std::size_t hn = 0;
   {
@@ -47,6 +60,37 @@ bool attack_all_components_from_archive(const std::string& archive_path,
   }
   const std::size_t n = hn * 2;
   out.assign(n, ComponentResult{});
+
+  if (single_pass) {
+    // One serial demux scan, then the attacks fan out in memory.
+    tracestore::ArchiveReader reader;
+    if (!reader.open(archive_path)) {
+      if (error != nullptr) *error = reader.error();
+      return false;
+    }
+    count_archive_scan();
+    std::vector<sca::TraceSet> sets;
+    if (!sca::load_all_trace_sets(reader, sets)) {
+      if (error != nullptr) *error = "failed to demux archive records";
+      return false;
+    }
+    for (std::size_t slot = 0; slot < hn; ++slot) {
+      if (sets[slot].traces.empty()) {
+        if (error != nullptr) *error = "no records for slot " + std::to_string(slot);
+        return false;
+      }
+    }
+    exec::parallel_for_chunks(pool, n, n, [&](exec::ChunkRange r, std::size_t) {
+      for (std::size_t idx = r.begin; idx < r.end; ++idx) {
+        const ComponentIndex ci = component_index(idx, hn);
+        const ComponentDataset ds = build_component_dataset(sets[ci.slot], ci.imag);
+        out[idx] = attack_component(ds, config_for(ci));
+      }
+    });
+    obs::MetricsRegistry::global().counter("attack.components").add(n);
+    return true;
+  }
+
   std::mutex err_mu;
   std::string first_error;
   exec::parallel_for_chunks(pool, n, n, [&](exec::ChunkRange r, std::size_t) {
@@ -80,7 +124,7 @@ bool attack_components_gated(const std::string& archive_path, const QualityConfi
                              std::span<const std::size_t> components,
                              std::vector<ComponentResult>& results,
                              std::vector<std::size_t>& accepted_traces,
-                             QualityReport* quality, std::string* error) {
+                             QualityReport* quality, std::string* error, bool single_pass) {
   obs::Span span("attack.components.gated");
   std::size_t hn = 0;
   unsigned jitter_max = 0;
@@ -100,6 +144,40 @@ bool attack_components_gated(const std::string& archive_path, const QualityConfi
   std::mutex mu;  // guards first_error and the aggregate report
   std::string first_error;
   QualityReport total;
+
+  // Single-pass demux: collect the requested components' unique slots,
+  // fill them in ONE serial archive scan, then screen/attack private
+  // copies in parallel. The screened copy per component keeps results
+  // and the aggregate report identical to the per-component path.
+  std::vector<sca::TraceSet> slot_sets;
+  std::vector<std::size_t> slot_of;  // slot -> index into slot_sets
+  if (single_pass) {
+    std::vector<std::size_t> slots;
+    for (const std::size_t idx : components) {
+      if (idx >= n) {
+        if (first_error.empty()) {
+          first_error = "component id " + std::to_string(idx) + " out of range";
+        }
+        continue;
+      }
+      slots.push_back(component_index(idx, hn).slot);
+    }
+    std::sort(slots.begin(), slots.end());
+    slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+    tracestore::ArchiveReader reader;
+    if (!reader.open(archive_path)) {
+      if (error != nullptr) *error = reader.error();
+      return false;
+    }
+    count_archive_scan();
+    if (!sca::load_trace_sets_for(reader, slots, slot_sets)) {
+      if (error != nullptr) *error = "failed to demux archive records";
+      return false;
+    }
+    slot_of.assign(hn, static_cast<std::size_t>(-1));
+    for (std::size_t i = 0; i < slots.size(); ++i) slot_of[slots[i]] = i;
+  }
+
   exec::parallel_for_chunks(pool, components.size(), components.size(),
                             [&](exec::ChunkRange r, std::size_t) {
     for (std::size_t k = r.begin; k < r.end; ++k) {
@@ -112,14 +190,20 @@ bool attack_components_gated(const std::string& archive_path, const QualityConfi
         continue;
       }
       const ComponentIndex ci = component_index(idx, hn);
-      tracestore::ArchiveReader reader;  // private reader per task
-      if (!reader.open(archive_path)) {
-        std::lock_guard<std::mutex> lock(mu);
-        if (first_error.empty()) first_error = reader.error();
-        continue;
-      }
       sca::TraceSet set;
-      if (!sca::load_trace_set(reader, ci.slot, set) || set.traces.empty()) {
+      if (single_pass) {
+        set = slot_sets[slot_of[ci.slot]];  // private screened copy
+      } else {
+        tracestore::ArchiveReader reader;  // private reader per task
+        if (!reader.open(archive_path)) {
+          std::lock_guard<std::mutex> lock(mu);
+          if (first_error.empty()) first_error = reader.error();
+          continue;
+        }
+        count_archive_scan();
+        if (!sca::load_trace_set(reader, ci.slot, set)) set.traces.clear();
+      }
+      if (set.traces.empty()) {
         std::lock_guard<std::mutex> lock(mu);
         if (first_error.empty()) {
           first_error = "no records for slot " + std::to_string(ci.slot);

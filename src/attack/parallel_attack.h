@@ -56,15 +56,22 @@ using ComponentConfigFn = std::function<ComponentAttackConfig(const ComponentInd
   return attack_all_components_parallel(sets, config_for, nullptr);
 }
 
-// Archive-backed variant: every task opens its OWN ArchiveReader on
-// `archive_path` (readers are single-threaded objects) and loads just
-// its slot's records, so peak memory is one slot per in-flight task
-// instead of the whole campaign.
+// Archive-backed variant. single_pass = true (default): ONE serial
+// archive scan demultiplexes every slot's records up front
+// (sca::load_all_trace_sets), then the component attacks fan out over
+// the pool in memory -- 1 archive pass total instead of one per
+// component, at the price of holding the whole campaign resident.
+// single_pass = false keeps the legacy shape: every task opens its OWN
+// ArchiveReader (readers are single-threaded objects) and loads just
+// its slot's records, so peak memory is one slot per in-flight task.
+// Results are bit-identical either way: both paths hand each component
+// its slot's records in archive order.
 [[nodiscard]] bool attack_all_components_from_archive(const std::string& archive_path,
                                                       const ComponentConfigFn& config_for,
                                                       exec::ThreadPool* pool,
                                                       std::vector<ComponentResult>& out,
-                                                      std::string* error = nullptr);
+                                                      std::string* error = nullptr,
+                                                      bool single_pass = true);
 
 // Quality-gated, subset-capable variant: attacks only the listed global
 // component ids (resume and re-measurement both need "just these"),
@@ -79,6 +86,16 @@ using ComponentConfigFn = std::function<ComponentAttackConfig(const ComponentInd
 // sums are order-invariant). Bit-identity contract: results depend only
 // on (archive bytes, gate config, per-component config), never the
 // worker count.
+//
+// single_pass = true (default): the listed components' slots are
+// demultiplexed in ONE serial archive scan (sca::load_trace_sets_for),
+// then each component screens and attacks a private copy of its slot's
+// set in parallel -- 1 archive pass per call instead of one per
+// component, with memory O(requested slots). Each component still gets
+// its own screened copy, so results, accepted_traces, and the summed
+// QualityReport (a slot shared by Re and Im counts twice, as before)
+// are identical to the per-component path. single_pass = false keeps
+// the legacy one-reader-per-task shape.
 [[nodiscard]] bool attack_components_gated(const std::string& archive_path,
                                            const QualityConfig& gate,
                                            const ComponentConfigFn& config_for,
@@ -87,7 +104,8 @@ using ComponentConfigFn = std::function<ComponentAttackConfig(const ComponentInd
                                            std::vector<ComponentResult>& results,
                                            std::vector<std::size_t>& accepted_traces,
                                            QualityReport* quality = nullptr,
-                                           std::string* error = nullptr);
+                                           std::string* error = nullptr,
+                                           bool single_pass = true);
 
 // Fans independent streamed CPA passes across the pool, one private
 // ArchiveReader per task. results[i] is the engine of specs[i]; each

@@ -23,7 +23,10 @@ namespace {
 
 // Binds a checkpoint to its experiment: everything that changes the
 // captured bytes or the per-component decisions participates; the
-// thread count and batch size (wall-time knobs) deliberately do not.
+// thread count, checkpoint cadence, and archive I/O strategy
+// (single_pass) are wall-time knobs and deliberately do not. The CPA
+// kernel batch DOES participate: reassociation inside a batch shifts
+// correlations at the ULP level (cpa_kernel.h).
 std::uint64_t hash_experiment(const falcon::KeyPair& victim,
                               const RecoveryPipelineConfig& config) {
   std::uint64_t h = 0x46444350;  // "FDCP"
@@ -38,6 +41,7 @@ std::uint64_t hash_experiment(const falcon::KeyPair& victim,
   mix(a.device.constant_weight ? 1 : 0);
   mix(a.extend_top_k);
   mix(a.adversarial_random);
+  mix(a.cpa_batch);
   mix(a.seed);
   mix(config.capture_shards);
   const sca::FaultConfig& fc = config.faults;
@@ -206,8 +210,13 @@ RecoveryPipelineResult run_recovery_pipeline(const falcon::KeyPair& victim,
     for (std::size_t idx = 0; idx < n; ++idx) {
       if (st.done[idx] == 0) todo.push_back(idx);
     }
+    // Without checkpointing there is nothing to persist between
+    // batches, so the whole todo set runs as one batch -- with
+    // single_pass that makes the attack round exactly ONE archive scan.
     const std::size_t batch_size =
-        config.checkpoint_every == 0 ? std::max<std::size_t>(1, n) : config.checkpoint_every;
+        !checkpointing || config.checkpoint_every == 0
+            ? std::max<std::size_t>(1, todo.size())
+            : config.checkpoint_every;
     std::size_t completed = st.completed();
     for (std::size_t b = 0; b < todo.size(); b += batch_size) {
       if (config.abort_after_components != 0 &&
@@ -220,7 +229,8 @@ RecoveryPipelineResult run_recovery_pipeline(const falcon::KeyPair& victim,
       QualityReport q;
       std::string err;
       if (!attack_components_gated(config.archive_path, config.quality, config_for,
-                                   pool.get(), batch, results, accepted, &q, &err)) {
+                                   pool.get(), batch, results, accepted, &q, &err,
+                                   config.single_pass)) {
         throw std::runtime_error("component attack failed: " + err);
       }
       out.quality.add(q);
@@ -268,7 +278,8 @@ RecoveryPipelineResult run_recovery_pipeline(const falcon::KeyPair& victim,
       // Only the doubtful components re-run, now over the larger D.
       QualityReport q;
       if (!attack_components_gated(config.archive_path, config.quality, config_for,
-                                   pool.get(), low, results, accepted, &q, &err)) {
+                                   pool.get(), low, results, accepted, &q, &err,
+                                   config.single_pass)) {
         throw std::runtime_error("re-measurement attack failed: " + err);
       }
       out.quality.add(q);

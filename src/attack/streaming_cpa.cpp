@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <memory>
 
 #include "obs/metrics.h"
 #include "obs/sink.h"
@@ -21,13 +22,15 @@ class CpaFold {
  public:
   explicit CpaFold(const StreamingCpaSpec& spec)
       : spec_(spec),
-        engine_(spec.guesses.size(), spec.sample_offsets.size()),
+        engine_(spec.guesses.size(), spec.sample_offsets.size(), spec.kernel,
+                spec.rank_mode),
         hyps_(spec.guesses.size()),
         samps_(spec.sample_offsets.size()) {
     assert(!spec.guesses.empty() && !spec.sample_offsets.empty() && spec.model);
   }
 
   void add_window(fpr::Fpr known_re, fpr::Fpr known_im, std::span<const float> samples) {
+    bool contributed = false;
     for (unsigned v = 0; v < 2; ++v) {
       const std::size_t block = ww::mul_block_for(spec_.imag_part, v);
       const std::size_t base = ww::mul_base(static_cast<unsigned>(block));
@@ -41,7 +44,11 @@ class CpaFold {
         samps_[c] = samples[base + spec_.sample_offsets[c]];
       }
       engine_.add_trace(hyps_, samps_);
+      contributed = true;
     }
+    // A window whose layout had no room for either view folded nothing:
+    // it must not advance attack.cpa.windows or the snapshot cadence.
+    if (!contributed) return;
     ++windows_;
     if (spec_.snapshot_every != 0 && windows_ % spec_.snapshot_every == 0) {
       snapshot();
@@ -99,12 +106,17 @@ class CpaFold {
   bool snapshot_emitted_ = false;
 };
 
+void count_archive_scan() {
+  obs::MetricsRegistry::global().counter("attack.archive.scans").add(1);
+}
+
 }  // namespace
 
 CpaEngine run_cpa_streaming(tracestore::ArchiveReader& reader,
                             const StreamingCpaSpec& spec) {
   CpaFold fold(spec);
   reader.rewind();
+  count_archive_scan();
   tracestore::TraceRecord rec;
   std::size_t used = 0;
   while ((spec.max_traces == 0 || used < spec.max_traces) && reader.next(rec)) {
@@ -114,6 +126,52 @@ CpaEngine run_cpa_streaming(tracestore::ArchiveReader& reader,
     ++used;
   }
   return fold.take();
+}
+
+std::vector<CpaEngine> run_cpa_streaming_multi(tracestore::ArchiveReader& reader,
+                                               std::span<const StreamingCpaSpec> specs) {
+  // One fold per spec; CpaFold pins a reference to its spec, so folds
+  // live behind stable pointers.
+  std::vector<std::unique_ptr<CpaFold>> folds;
+  folds.reserve(specs.size());
+  std::size_t max_slot = 0;
+  for (const auto& spec : specs) {
+    folds.push_back(std::make_unique<CpaFold>(spec));
+    max_slot = std::max(max_slot, spec.slot);
+  }
+  // Slot -> interested spec indices (specs may share a slot).
+  std::vector<std::vector<std::size_t>> by_slot(max_slot + 1);
+  for (std::size_t i = 0; i < specs.size(); ++i) by_slot[specs[i].slot].push_back(i);
+
+  std::vector<std::size_t> used(specs.size(), 0);
+  // The scan can stop early only if every spec has a trace budget.
+  std::size_t unsaturated = 0;
+  for (const auto& spec : specs) {
+    if (spec.max_traces == 0) unsaturated = specs.size() + 1;  // never early-exit
+  }
+  if (unsaturated == 0) unsaturated = specs.size();
+
+  reader.rewind();
+  if (!specs.empty()) count_archive_scan();
+  tracestore::TraceRecord rec;
+  while (unsaturated > 0 && reader.next(rec)) {
+    if (rec.slot >= by_slot.size()) continue;
+    for (const std::size_t i : by_slot[rec.slot]) {
+      const auto& spec = specs[i];
+      if (spec.max_traces != 0 && used[i] >= spec.max_traces) continue;
+      folds[i]->add_window(fpr::Fpr::from_bits(rec.known_re_bits),
+                           fpr::Fpr::from_bits(rec.known_im_bits), rec.samples);
+      ++used[i];
+      if (spec.max_traces != 0 && used[i] == spec.max_traces && unsaturated <= specs.size()) {
+        --unsaturated;
+      }
+    }
+  }
+
+  std::vector<CpaEngine> out;
+  out.reserve(specs.size());
+  for (auto& fold : folds) out.push_back(fold->take());
+  return out;
 }
 
 CpaEngine run_cpa_inmemory(const sca::TraceSet& set, const StreamingCpaSpec& spec) {
@@ -132,6 +190,7 @@ bool attack_component_from_archive(tracestore::ArchiveReader& reader, std::size_
                                    bool imag_part, const ComponentAttackConfig& config,
                                    ComponentResult& out) {
   sca::TraceSet set;
+  count_archive_scan();
   if (!sca::load_trace_set(reader, slot, set) || set.traces.empty()) return false;
   const ComponentDataset ds = build_component_dataset(set, imag_part);
   out = attack_component(ds, config);

@@ -13,10 +13,18 @@
 // an identical ranking() -- to run_cpa_inmemory over the matching
 // run_full_campaign trace sets, because both visit the same traces in
 // the same (query, view) order and the archive stores samples and known
-// operands losslessly. Tests pin this equivalence exactly.
+// operands losslessly (both paths own the same CpaBatchKernel fold).
+// Tests pin this equivalence exactly.
+//
+// run_cpa_streaming_multi extends the contract across components: ONE
+// archive pass demultiplexes records by slot into per-spec folds, and
+// each spec's engine is bit-identical to what a dedicated
+// run_cpa_streaming pass would have produced, because the records of
+// one slot arrive in the same order either way.
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "attack/cpa.h"
@@ -41,6 +49,10 @@ struct StreamingCpaSpec {
   // model(guess, known operand) -> predicted Hamming-weight leakage.
   std::function<double(std::uint32_t, const KnownOperand&)> model;
   std::size_t max_traces = 0;  // 0 = every trace in the archive
+  // Accumulation kernel (batch size is part of the statistics'
+  // identity, see cpa_kernel.h) and ranking mode of the engine.
+  CpaKernelConfig kernel;
+  CpaRankMode rank_mode = CpaRankMode::kAbsPeak;
 
   // --- telemetry (no effect on the accumulated statistics) ---------------
   //
@@ -52,7 +64,10 @@ struct StreamingCpaSpec {
   // peak of the true value. A file of these snapshots is enough to
   // reconstruct the paper's Fig. 4 e-h convergence curves offline
   // (fd-report renders them). Both the streamed and in-memory paths
-  // emit identical snapshot streams, since they share the fold.
+  // emit identical snapshot streams, since they share the fold. Only
+  // windows that actually contributed at least one add_trace count
+  // toward the cadence and the `traces` field (a record whose sample
+  // layout has no room for this spec's views folds nothing).
   std::size_t snapshot_every = 0;
   std::int64_t truth_guess = -1;  // guess *value* to track, -1 = none
   std::string label;              // event tag, e.g. "slot3.im"
@@ -63,6 +78,16 @@ struct StreamingCpaSpec {
 // in-memory path. Guess i of the engine is spec.guesses[i].
 [[nodiscard]] CpaEngine run_cpa_streaming(tracestore::ArchiveReader& reader,
                                           const StreamingCpaSpec& spec);
+
+// Single-pass multi-component driver: ONE rewind+scan of the archive
+// demultiplexes records by slot into a fold per spec. result[i] is
+// bit-identical to run_cpa_streaming(reader, specs[i]) -- at 1 archive
+// pass instead of specs.size(). Specs may share a slot (e.g. the Re and
+// Im components of one FFT coefficient); each fold then consumes the
+// same records independently. Per-spec max_traces is honored, and the
+// scan stops early once every spec is saturated.
+[[nodiscard]] std::vector<CpaEngine> run_cpa_streaming_multi(
+    tracestore::ArchiveReader& reader, std::span<const StreamingCpaSpec> specs);
 
 // The same fold over an in-memory TraceSet -- the reference the
 // streamed path must reproduce bit for bit.

@@ -425,6 +425,32 @@ bool load_all_trace_sets(tracestore::ArchiveReader& reader, std::vector<TraceSet
   return true;
 }
 
+bool load_trace_sets_for(tracestore::ArchiveReader& reader,
+                         std::span<const std::size_t> slots, std::vector<TraceSet>& out) {
+  if (!reader.is_open()) return false;
+  const std::size_t hn = reader.meta().num_slots;
+  constexpr std::size_t kUnrouted = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> route(hn, kUnrouted);  // slot -> out index
+  out.assign(slots.size(), TraceSet{});
+  for (std::size_t i = 0; i < slots.size(); ++i) {
+    const std::size_t s = slots[i];
+    if (s >= hn || route[s] != kUnrouted) return false;  // out of range / duplicate
+    route[s] = i;
+    out[i].slot = s;
+  }
+  reader.rewind();
+  tracestore::TraceRecord rec;
+  while (reader.next(rec)) {
+    if (rec.slot >= hn || route[rec.slot] == kUnrouted) continue;
+    CapturedTrace ct;
+    ct.trace.samples = std::move(rec.samples);
+    ct.known_re = Fpr::from_bits(rec.known_re_bits);
+    ct.known_im = Fpr::from_bits(rec.known_im_bits);
+    out[route[rec.slot]].traces.push_back(std::move(ct));
+  }
+  return true;
+}
+
 std::vector<TraceSet> run_full_campaign(const falcon::SecretKey& sk,
                                         const CampaignConfig& config) {
   const unsigned logn = sk.params.logn;

@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -156,6 +157,14 @@ struct ShardedCampaignResult {
 // All slots at once -- the archive equivalent of run_full_campaign's
 // return value (and the same O(records) memory as the in-memory path).
 [[nodiscard]] bool load_all_trace_sets(tracestore::ArchiveReader& reader,
+                                       std::vector<TraceSet>& out);
+// Subset demux: ONE rewind+scan fills out[i] with slots[i]'s records
+// (the single-pass alternative to calling load_trace_set per slot).
+// Slots must be unique and in range; out[i].traces holds slot slots[i]
+// in archive order, exactly as load_trace_set would have produced.
+// Memory is O(records of the requested slots).
+[[nodiscard]] bool load_trace_sets_for(tracestore::ArchiveReader& reader,
+                                       std::span<const std::size_t> slots,
                                        std::vector<TraceSet>& out);
 
 }  // namespace fd::sca

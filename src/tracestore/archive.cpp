@@ -262,6 +262,8 @@ bool ArchiveReader::open(const std::string& path) {
   chunk_pos_ = 0;
   chunk_ordinal_ = 0;
   max_resident_ = 0;
+  scans_started_ = 0;
+  scan_counted_ = false;
   file_ = std::fopen(path.c_str(), "rb");
   if (file_ == nullptr) {
     error_ = "cannot open '" + path + "' for reading";
@@ -335,6 +337,10 @@ bool ArchiveReader::load_next_chunk() {
 
 bool ArchiveReader::next(TraceRecord& out) {
   if (file_ == nullptr) return false;
+  if (!scan_counted_) {
+    scan_counted_ = true;
+    ++scans_started_;
+  }
   if (chunk_pos_ == chunk_.size() && !load_next_chunk()) return false;
   out = std::move(chunk_[chunk_pos_]);
   ++chunk_pos_;
@@ -360,6 +366,7 @@ void ArchiveReader::rewind() {
   chunk_.clear();
   chunk_pos_ = 0;
   chunk_ordinal_ = 0;
+  scan_counted_ = false;  // the next next() starts a new counted pass
 }
 
 // --- verify / merge -------------------------------------------------------

@@ -171,6 +171,11 @@ class ArchiveReader {
   // High-water mark of decoded records held at once -- the bounded-
   // memory guarantee, asserted by tests to be <= traces_per_chunk.
   [[nodiscard]] std::size_t max_resident_records() const { return max_resident_; }
+  // Record-reading passes started on this reader: the first next() after
+  // open() or each rewind() counts one. Single-pass attack drivers pin
+  // "exactly one archive scan" against this (and against the
+  // attack.archive.scans metric for cross-reader totals).
+  [[nodiscard]] std::size_t scans_started() const { return scans_started_; }
   [[nodiscard]] const std::string& error() const { return error_; }
 
  private:
@@ -183,6 +188,8 @@ class ArchiveReader {
   std::size_t chunk_pos_ = 0;
   std::size_t chunk_ordinal_ = 0;  // file-order index of the next chunk
   std::size_t max_resident_ = 0;
+  std::size_t scans_started_ = 0;
+  bool scan_counted_ = false;  // current pass already in scans_started_
   std::string error_;
 };
 

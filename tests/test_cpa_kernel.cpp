@@ -1,0 +1,501 @@
+// The blocked CPA kernel's contracts (cpa_kernel.h):
+//   - equivalence: batch sizes 1/7/64 agree with the exact two-pass
+//     Pearson reference at trace counts not divisible by B, batch 1
+//     reproduces the naive per-trace fold bit for bit, and tiling never
+//     changes a single bit;
+//   - the cancellation bugfix: a large DC offset (samples ~ 1e8 + HW)
+//     drives the legacy unshifted moment form dn*sum2 - sum*sum
+//     negative (the old code silently returned r = 0) while the shifted
+//     kernel still recovers the key guess;
+//   - ranking modes: |r| ranking catches inverted leakage that signed
+//     ranking is blind to;
+//   - a foreign-layout window (samples too short for the spec's views)
+//     folds nothing and does not advance the window count;
+//   - single-pass drivers: run_cpa_streaming_multi equals per-spec
+//     run_cpa_streaming at ONE reader scan, single-pass
+//     attack_components_gated equals the legacy per-component path at
+//     one archive scan per call, and the whole pipeline attack round
+//     costs exactly one archive pass.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "attack/cpa.h"
+#include "attack/cpa_kernel.h"
+#include "attack/parallel_attack.h"
+#include "attack/recovery_pipeline.h"
+#include "attack/streaming_cpa.h"
+#include "common/rng.h"
+#include "falcon/falcon.h"
+#include "obs/metrics.h"
+#include "sca/campaign.h"
+#include "tracestore/archive.h"
+
+namespace fd::attack {
+namespace {
+
+struct TempFile {
+  explicit TempFile(std::string p) : path(std::move(p)) { std::remove(path.c_str()); }
+  ~TempFile() { std::remove(path.c_str()); }
+  std::string path;
+};
+
+sca::CampaignConfig small_config(std::uint64_t seed) {
+  sca::CampaignConfig cfg;
+  cfg.num_traces = 220;
+  cfg.device.noise_sigma = 2.0;
+  cfg.seed = seed;
+  return cfg;
+}
+
+StreamingCpaSpec exponent_spec(std::size_t slot, bool imag = false) {
+  StreamingCpaSpec spec;
+  spec.slot = slot;
+  spec.imag_part = imag;
+  spec.sample_offsets = {sca::window::kOffExpSum};
+  for (std::uint32_t e = 1005; e <= 1053; ++e) spec.guesses.push_back(e);
+  spec.model = [](std::uint32_t guess, const KnownOperand& k) {
+    return hyp_exponent(guess, k);
+  };
+  return spec;
+}
+
+// Synthetic Hamming-weight leakage: operand d leaks popcount(v_d);
+// guess g predicts popcount(v_d ^ mask_g) with mask_0 = 0 (the truth).
+struct SyntheticCpa {
+  std::size_t num_guesses = 0;
+  std::size_t num_samples = 0;
+  std::vector<std::uint64_t> masks;         // per guess
+  std::vector<std::vector<double>> hyps;    // [trace][guess]
+  std::vector<std::vector<float>> samples;  // [trace][sample]
+};
+
+SyntheticCpa make_synthetic(std::size_t traces, std::size_t guesses, std::size_t samples,
+                            double noise_sigma, double dc_offset, double gain,
+                            std::uint64_t seed) {
+  ChaCha20Prng rng(seed);
+  constexpr std::uint64_t kMask50 = (1ULL << 50) - 1;
+  SyntheticCpa s;
+  s.num_guesses = guesses;
+  s.num_samples = samples;
+  s.masks.push_back(0);  // guess 0 = truth
+  for (std::size_t g = 1; g < guesses; ++g) s.masks.push_back(rng.next_u64() & kMask50);
+  s.hyps.resize(traces);
+  s.samples.resize(traces);
+  for (std::size_t d = 0; d < traces; ++d) {
+    const std::uint64_t v = rng.next_u64() & kMask50;
+    const double hw = static_cast<double>(std::popcount(v));
+    s.hyps[d].resize(guesses);
+    for (std::size_t g = 0; g < guesses; ++g) {
+      s.hyps[d][g] = static_cast<double>(std::popcount(v ^ s.masks[g]));
+    }
+    s.samples[d].resize(samples);
+    for (std::size_t c = 0; c < samples; ++c) {
+      const double noise = noise_sigma == 0.0 ? 0.0 : noise_sigma * rng.gaussian();
+      s.samples[d][c] =
+          static_cast<float>(dc_offset + 10.0 * static_cast<double>(c) + gain * hw + noise);
+    }
+  }
+  return s;
+}
+
+// Exact two-pass mean-centered Pearson in extended precision: the
+// ground truth every batched fold must agree with.
+double exact_pearson(const SyntheticCpa& s, std::size_t g, std::size_t c) {
+  const std::size_t d = s.hyps.size();
+  long double mh = 0.0L, mt = 0.0L;
+  for (std::size_t i = 0; i < d; ++i) {
+    mh += s.hyps[i][g];
+    mt += s.samples[i][c];
+  }
+  mh /= static_cast<long double>(d);
+  mt /= static_cast<long double>(d);
+  long double vh = 0.0L, vt = 0.0L, cov = 0.0L;
+  for (std::size_t i = 0; i < d; ++i) {
+    const long double a = s.hyps[i][g] - mh;
+    const long double b = s.samples[i][c] - mt;
+    vh += a * a;
+    vt += b * b;
+    cov += a * b;
+  }
+  if (vh <= 0.0L || vt <= 0.0L) return 0.0;
+  return static_cast<double>(cov / std::sqrt(vh * vt));
+}
+
+CpaEngine fold_synthetic(const SyntheticCpa& s, CpaKernelConfig kernel,
+                         CpaRankMode mode = CpaRankMode::kAbsPeak) {
+  CpaEngine engine(s.num_guesses, s.num_samples, kernel, mode);
+  for (std::size_t d = 0; d < s.hyps.size(); ++d) engine.add_trace(s.hyps[d], s.samples[d]);
+  return engine;
+}
+
+// --- kernel equivalence ----------------------------------------------------
+
+TEST(CpaKernel, BatchSizesAgreeWithExactReference) {
+  // Trace counts deliberately not divisible by 7 or 64: the flush of a
+  // partial tail batch must not change the statistics.
+  for (const std::size_t traces : {63U, 100U, 101U}) {
+    const auto s = make_synthetic(traces, 16, 3, 2.0, 0.0, 1.5, 0xA11CE + traces);
+    const CpaEngine e1 = fold_synthetic(s, {.batch_traces = 1});
+    const CpaEngine e7 = fold_synthetic(s, {.batch_traces = 7});
+    const CpaEngine e64 = fold_synthetic(s, {.batch_traces = 64});
+    ASSERT_EQ(e64.num_traces(), traces);
+    for (std::size_t g = 0; g < s.num_guesses; ++g) {
+      for (std::size_t c = 0; c < s.num_samples; ++c) {
+        const double exact = exact_pearson(s, g, c);
+        // Shifted data keeps every batch within rounding noise of the
+        // two-pass reference...
+        EXPECT_NEAR(e1.correlation(g, c), exact, 1e-10) << "D=" << traces;
+        EXPECT_NEAR(e7.correlation(g, c), exact, 1e-10);
+        EXPECT_NEAR(e64.correlation(g, c), exact, 1e-10);
+        // ...and batch sizes differ from each other only by the
+        // documented in-batch reassociation.
+        EXPECT_NEAR(e7.correlation(g, c), e1.correlation(g, c), 1e-12);
+        EXPECT_NEAR(e64.correlation(g, c), e1.correlation(g, c), 1e-12);
+      }
+    }
+    EXPECT_EQ(e7.ranking(), e1.ranking());
+    EXPECT_EQ(e64.ranking(), e1.ranking());
+    EXPECT_EQ(e1.ranking().front(), 0U);  // and the fold is attacking
+  }
+}
+
+TEST(CpaKernel, BatchOneReproducesNaiveFoldBitForBit) {
+  const auto s = make_synthetic(101, 12, 2, 2.0, 0.0, 1.5, 0xBEE);
+  const CpaEngine e1 = fold_synthetic(s, {.batch_traces = 1});
+
+  // The naive per-trace fold, spelled out: first trace is the shift
+  // reference, every later value enters the five sums as (x - ref) in
+  // trace order. Batch 1 must reproduce this arithmetic exactly.
+  const std::size_t gcount = s.num_guesses, scount = s.num_samples;
+  std::vector<double> ref_h(gcount), ref_t(scount);
+  std::vector<double> sh(gcount, 0.0), sh2(gcount, 0.0);
+  std::vector<double> st(scount, 0.0), st2(scount, 0.0), sht(gcount * scount, 0.0);
+  for (std::size_t d = 0; d < s.hyps.size(); ++d) {
+    if (d == 0) {
+      for (std::size_t g = 0; g < gcount; ++g) ref_h[g] = s.hyps[0][g];
+      for (std::size_t c = 0; c < scount; ++c) ref_t[c] = s.samples[0][c];
+    }
+    for (std::size_t c = 0; c < scount; ++c) {
+      const double t = static_cast<double>(s.samples[d][c]) - ref_t[c];
+      st[c] += t;
+      st2[c] += t * t;
+    }
+    for (std::size_t g = 0; g < gcount; ++g) {
+      const double h = s.hyps[d][g] - ref_h[g];
+      sh[g] += h;
+      sh2[g] += h * h;
+      for (std::size_t c = 0; c < scount; ++c) {
+        const double t = static_cast<double>(s.samples[d][c]) - ref_t[c];
+        sht[g * scount + c] += h * t;
+      }
+    }
+  }
+  const double dn = static_cast<double>(s.hyps.size());
+  for (std::size_t g = 0; g < gcount; ++g) {
+    for (std::size_t c = 0; c < scount; ++c) {
+      const double var_h = dn * sh2[g] - sh[g] * sh[g];
+      const double var_t = dn * st2[c] - st[c] * st[c];
+      const double cov = dn * sht[g * scount + c] - sh[g] * st[c];
+      const double r = (var_h <= 0.0 || var_t <= 0.0) ? 0.0 : cov / std::sqrt(var_h * var_t);
+      EXPECT_EQ(e1.correlation(g, c), r) << "g=" << g << " c=" << c;
+    }
+  }
+}
+
+TEST(CpaKernel, TilingNeverChangesABit) {
+  const auto s = make_synthetic(150, 49, 4, 2.0, 0.0, 1.5, 0x711E5);
+  const CpaEngine base =
+      fold_synthetic(s, {.batch_traces = 64, .guess_block = 32, .sample_block = 64});
+  const CpaKernelConfig tilings[] = {
+      {.batch_traces = 64, .guess_block = 1, .sample_block = 1},
+      {.batch_traces = 64, .guess_block = 3, .sample_block = 5},
+      {.batch_traces = 64, .guess_block = 1000, .sample_block = 1000},
+  };
+  for (const auto& cfg : tilings) {
+    const CpaEngine e = fold_synthetic(s, cfg);
+    for (std::size_t g = 0; g < s.num_guesses; ++g) {
+      for (std::size_t c = 0; c < s.num_samples; ++c) {
+        // Tile sizes are pure performance knobs: exact double equality.
+        EXPECT_EQ(e.correlation(g, c), base.correlation(g, c))
+            << "gb=" << cfg.guess_block << " sb=" << cfg.sample_block;
+      }
+    }
+    EXPECT_EQ(e.ranking(), base.ranking());
+  }
+}
+
+// --- the cancellation bugfix -----------------------------------------------
+
+TEST(CpaKernel, DcOffsetRegressionRecoversKeyGuess) {
+  // samples = 1e8 + HW, no noise. float quantization (ULP = 8 at 1e8)
+  // coarsens but does not destroy the signal; what used to destroy it
+  // is the legacy unshifted moment form, whose double-precision
+  // accumulation error swamps the tiny true variance.
+  const auto s = make_synthetic(2000, 16, 1, 0.0, 1e8, 1.0, 0xDC0FF);
+
+  // The bug was real: the legacy form goes negative, and the old
+  // correlation() then silently returned r = 0 for every guess.
+  double st = 0.0, st2 = 0.0;
+  for (const auto& row : s.samples) {
+    const double x = row[0];
+    st += x;
+    st2 += x * x;
+  }
+  const double dn = static_cast<double>(s.samples.size());
+  EXPECT_LE(dn * st2 - st * st, 0.0)
+      << "DC offset no longer drives the legacy moment form negative; "
+         "pick a larger offset to keep this regression meaningful";
+
+  // The shifted kernel recovers the key guess at any batch size.
+  for (const std::size_t batch : {1U, 64U}) {
+    const CpaEngine e = fold_synthetic(s, {.batch_traces = batch});
+    EXPECT_EQ(e.ranking().front(), 0U) << "batch=" << batch;
+    EXPECT_GT(e.peak(0), 0.5) << "batch=" << batch;
+    const double exact = exact_pearson(s, 0, 0);
+    EXPECT_NEAR(e.correlation(0, 0), exact, 1e-6) << "batch=" << batch;
+  }
+
+  // StreamingScan shares the fix: the huge-guess-space path scores the
+  // truth on top too.
+  std::vector<std::vector<float>> cols(1);
+  cols[0].reserve(s.samples.size());
+  for (const auto& row : s.samples) cols[0].push_back(row[0]);
+  const StreamingScan scan(std::move(cols));
+  const auto& hyps = s.hyps;
+  const auto model = [&hyps](std::uint32_t guess, std::size_t trace, std::size_t) {
+    return hyps[trace][guess];
+  };
+  const auto top = scan.top_k(0, s.num_guesses, model, s.num_guesses);
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top.front().guess, 0U);
+  EXPECT_GT(top.front().score, 0.5);
+}
+
+TEST(CpaKernel, CorrelationIsShiftInvariantBitForBit) {
+  // t and t - 2^26 are within a factor of two of each other, so the
+  // float subtraction is exact (Sterbenz): both engines see identical
+  // shifted values and must produce identical doubles.
+  const auto s =
+      make_synthetic(300, 8, 2, 1.0, static_cast<double>(1 << 26), 1.0, 0x5111F7);
+  auto shifted = s;
+  for (auto& row : shifted.samples) {
+    for (auto& x : row) x -= static_cast<float>(1 << 26);
+  }
+  const CpaEngine a = fold_synthetic(s, {});
+  const CpaEngine b = fold_synthetic(shifted, {});
+  for (std::size_t g = 0; g < s.num_guesses; ++g) {
+    for (std::size_t c = 0; c < s.num_samples; ++c) {
+      EXPECT_EQ(a.correlation(g, c), b.correlation(g, c));
+    }
+  }
+  EXPECT_EQ(a.ranking(), b.ranking());
+}
+
+// --- ranking modes ---------------------------------------------------------
+
+TEST(CpaKernel, AbsPeakRankingCatchesInvertedLeakage) {
+  // Inverted device: amplitude DROPS with the Hamming weight. The truth
+  // correlates near -1; signed ranking prefers any wrong guess with a
+  // small positive fluctuation, |r| ranking is polarity-blind.
+  auto s = make_synthetic(500, 16, 1, 0.5, 0.0, 1.0, 0x1EAF);
+  for (std::size_t d = 0; d < s.samples.size(); ++d) {
+    s.samples[d][0] = 200.0f - s.samples[d][0];
+  }
+  const CpaEngine by_abs = fold_synthetic(s, {}, CpaRankMode::kAbsPeak);
+  const CpaEngine by_sign = fold_synthetic(s, {}, CpaRankMode::kSignedMax);
+
+  // Same accumulated statistics either way...
+  for (std::size_t g = 0; g < s.num_guesses; ++g) {
+    EXPECT_EQ(by_abs.correlation(g, 0), by_sign.correlation(g, 0));
+  }
+  EXPECT_LT(by_abs.correlation(0, 0), -0.9);  // the leak really is inverted
+
+  // ...but only |r| ranking finds the key.
+  EXPECT_EQ(by_abs.rank_mode(), CpaRankMode::kAbsPeak);
+  EXPECT_EQ(by_abs.ranking().front(), 0U);
+  EXPECT_GT(by_abs.peak(0), 0.9);
+  EXPECT_NE(by_sign.ranking().front(), 0U);
+  EXPECT_LT(by_sign.peak(0), 0.0);
+}
+
+// --- foreign-layout windows (satellite bugfix) -----------------------------
+
+TEST(CpaKernel, ForeignLayoutWindowFoldsNothingAndDoesNotCount) {
+  const fpr::Fpr known = fpr::Fpr::from_bits(0x3FF8000000000000ULL);  // 1.5
+  sca::TraceSet set;
+  set.slot = 0;
+  for (int i = 0; i < 5; ++i) {
+    sca::CapturedTrace ct;
+    ct.known_re = known;
+    ct.known_im = known;
+    ct.trace.samples.assign(4, 0.0f);  // no room for any fpr_mul view
+    set.traces.push_back(ct);
+  }
+  const auto spec = exponent_spec(0);
+  auto& windows = obs::MetricsRegistry::global().counter("attack.cpa.windows");
+
+  const std::uint64_t before = windows.value();
+  const CpaEngine empty = run_cpa_inmemory(set, spec);
+  EXPECT_EQ(empty.num_traces(), 0U);
+  if (FD_OBS_ENABLED) {
+    // Foreign windows must not advance the cadence/window count.
+    EXPECT_EQ(windows.value() - before, 0U);
+  }
+
+  // One well-formed window among the foreign ones: exactly it counts.
+  set.traces[2].trace.samples.assign(sca::window::kEventsPerMul * 6, 0.0f);
+  const std::uint64_t before2 = windows.value();
+  const CpaEngine one = run_cpa_inmemory(set, spec);
+  EXPECT_EQ(one.num_traces(), 2U);  // both views of the one good window
+  if (FD_OBS_ENABLED) {
+    EXPECT_EQ(windows.value() - before2, 1U);
+  }
+}
+
+// --- single-pass multi-component streaming ---------------------------------
+
+TEST(CpaKernel, MultiStreamingMatchesPerSpecAtOneScan) {
+  ChaCha20Prng rng(0xD340);
+  const auto kp = falcon::keygen(4, rng);
+  const auto cfg = small_config(0xD340);
+  TempFile tmp("ck_multi.fdtrace");
+  ASSERT_TRUE(sca::run_campaign_to_archive(kp.sk, cfg, tmp.path).ok);
+
+  // All 2N components of the key -- every slot, Re and Im -- plus one
+  // budgeted spec, in a single demuxed pass.
+  const std::size_t hn = kp.sk.params.n >> 1;
+  std::vector<StreamingCpaSpec> specs;
+  for (std::size_t slot = 0; slot < hn; ++slot) {
+    specs.push_back(exponent_spec(slot, /*imag=*/false));
+    specs.push_back(exponent_spec(slot, /*imag=*/true));
+  }
+  specs.push_back(exponent_spec(1));
+  specs.back().max_traces = 150;
+
+  tracestore::ArchiveReader reader;
+  ASSERT_TRUE(reader.open(tmp.path)) << reader.error();
+  auto& scans = obs::MetricsRegistry::global().counter("attack.archive.scans");
+  const std::uint64_t metric_before = scans.value();
+  const std::size_t reader_before = reader.scans_started();
+
+  const std::vector<CpaEngine> engines = run_cpa_streaming_multi(reader, specs);
+
+  // The whole-key attack cost ONE archive pass, not 2N.
+  EXPECT_EQ(reader.scans_started() - reader_before, 1U);
+  if (FD_OBS_ENABLED) {
+    EXPECT_EQ(scans.value() - metric_before, 1U);
+  }
+
+  // And each engine is bit-identical to its dedicated serial pass.
+  ASSERT_EQ(engines.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const CpaEngine solo = run_cpa_streaming(reader, specs[i]);
+    ASSERT_EQ(engines[i].num_traces(), solo.num_traces()) << "spec " << i;
+    for (std::size_t g = 0; g < solo.num_guesses(); ++g) {
+      for (std::size_t c = 0; c < solo.num_samples(); ++c) {
+        EXPECT_EQ(engines[i].correlation(g, c), solo.correlation(g, c)) << "spec " << i;
+      }
+    }
+    EXPECT_EQ(engines[i].ranking(), solo.ranking()) << "spec " << i;
+  }
+
+  // The demuxed pass is attacking, not just matching: the true exponent
+  // of a Re component clears the paper's 99.99% confidence bound.
+  const unsigned truth = kp.sk.b01[2].biased_exponent();
+  const CpaEngine& eng2 = engines[4];  // slot 2, Re
+  EXPECT_GT(eng2.peak(truth - 1005), confidence_interval(0.9999, eng2.num_traces()));
+}
+
+// --- single-pass gated component fan-out -----------------------------------
+
+TEST(CpaKernel, SinglePassGatedMatchesLegacyAtOneScan) {
+  ChaCha20Prng rng(0xD341);
+  const auto kp = falcon::keygen(4, rng);
+  auto cfg = small_config(0xD341);
+  cfg.num_traces = 300;
+  TempFile tmp("ck_gated.fdtrace");
+  ASSERT_TRUE(sca::run_campaign_to_archive(kp.sk, cfg, tmp.path).ok);
+
+  KeyRecoveryConfig krc;
+  const auto config_for = [&](const ComponentIndex& ci) {
+    return component_attack_config(kp.sk, krc, /*row=*/0, ci.slot, ci.imag);
+  };
+  QualityConfig gate;
+  gate.enabled = true;
+
+  const std::vector<std::size_t> components = {0, 3, 11};
+  auto& scans = obs::MetricsRegistry::global().counter("attack.archive.scans");
+
+  std::vector<ComponentResult> res_sp, res_legacy;
+  std::vector<std::size_t> acc_sp, acc_legacy;
+  QualityReport q_sp, q_legacy;
+  std::string err;
+
+  const std::uint64_t before_sp = scans.value();
+  ASSERT_TRUE(attack_components_gated(tmp.path, gate, config_for, nullptr, components,
+                                      res_sp, acc_sp, &q_sp, &err, /*single_pass=*/true))
+      << err;
+  if (FD_OBS_ENABLED) {
+    EXPECT_EQ(scans.value() - before_sp, 1U);  // one demux scan for all 3
+  }
+
+  const std::uint64_t before_legacy = scans.value();
+  ASSERT_TRUE(attack_components_gated(tmp.path, gate, config_for, nullptr, components,
+                                      res_legacy, acc_legacy, &q_legacy, &err,
+                                      /*single_pass=*/false))
+      << err;
+  if (FD_OBS_ENABLED) {
+    EXPECT_EQ(scans.value() - before_legacy, components.size());
+  }
+
+  // Bit-identical results, accepted-trace counts, and gate report.
+  ASSERT_EQ(res_sp.size(), res_legacy.size());
+  for (const std::size_t idx : components) {
+    EXPECT_EQ(res_sp[idx].bits, res_legacy[idx].bits) << "component " << idx;
+    EXPECT_EQ(res_sp[idx].sign, res_legacy[idx].sign);
+    EXPECT_EQ(res_sp[idx].exponent, res_legacy[idx].exponent);
+    EXPECT_EQ(res_sp[idx].x0, res_legacy[idx].x0);
+    EXPECT_EQ(res_sp[idx].x1, res_legacy[idx].x1);
+    EXPECT_EQ(acc_sp[idx], acc_legacy[idx]);
+  }
+  EXPECT_EQ(q_sp.total, q_legacy.total);
+  EXPECT_EQ(q_sp.accepted, q_legacy.accepted);
+  EXPECT_EQ(q_sp.rejected_saturated, q_legacy.rejected_saturated);
+  EXPECT_EQ(q_sp.rejected_energy, q_legacy.rejected_energy);
+  EXPECT_EQ(q_sp.rejected_alignment, q_legacy.rejected_alignment);
+  EXPECT_EQ(q_sp.realigned, q_legacy.realigned);
+}
+
+// --- the pipeline's one-pass-per-round pin ---------------------------------
+
+TEST(CpaKernel, PipelineAttackRoundScansArchiveOnce) {
+  if (!FD_OBS_ENABLED) GTEST_SKIP() << "built with FD_OBS=OFF";
+  ChaCha20Prng rng(0xD00D);
+  const auto victim = falcon::keygen(4, rng);
+
+  TempFile tmp("ck_pipeline.fdtrace");
+  RecoveryPipelineConfig cfg;
+  cfg.attack.num_traces = 400;
+  cfg.attack.device.noise_sigma = 2.0;
+  cfg.attack.seed = 0xD00D;
+  cfg.archive_path = tmp.path;
+
+  auto& scans = obs::MetricsRegistry::global().counter("attack.archive.scans");
+  const std::uint64_t before = scans.value();
+  const auto res = run_recovery_pipeline(victim, cfg);
+  ASSERT_TRUE(res.ok) << res.error;
+  // The full-key attack round (all 2N components, demuxed) is exactly
+  // one archive pass.
+  EXPECT_EQ(scans.value() - before, 1U);
+  EXPECT_EQ(res.recovery.components_total, victim.pk.params.n);
+}
+
+}  // namespace
+}  // namespace fd::attack

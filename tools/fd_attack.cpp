@@ -2,7 +2,7 @@
 //
 //   fd-attack recover [--logn N] [--traces N] [--threads N] [--shards N]
 //                     [--sigma F] [--seed 0xN] [--archive PATH]
-//                     [--keep-archive] [--json]
+//                     [--keep-archive] [--json] [--batch N] [--single-pass 0|1]
 //                     [--fault-plan SPEC] [--adaptive] [--checkpoint]
 //                     [--resume] [--checkpoint-every N]
 //
@@ -13,6 +13,12 @@
 // time only (see DESIGN.md section 9), which makes this binary the
 // canonical way to drive the attack at every core count. Exit 0 iff the
 // forged signature verifies under the victim's public key.
+//
+// Performance (DESIGN.md section 11): --batch sets the CPA kernel's
+// trace batch (1 = the naive per-trace reference fold; batch changes
+// correlations only at the ULP level but is part of the experiment
+// hash); --single-pass 0 falls back to one archive scan per component
+// instead of the default one-scan-per-round demux.
 //
 // Robustness (DESIGN.md section 10): --fault-plan injects the
 // deterministic rig-failure plan of sca/faults.h (and arms the trace
@@ -42,6 +48,7 @@ int usage() {
                "usage: fd-attack recover [--logn N] [--traces N] [--threads N]\n"
                "                         [--shards N] [--sigma F] [--seed 0xN]\n"
                "                         [--archive PATH] [--keep-archive] [--json]\n"
+               "                         [--batch N] [--single-pass 0|1]\n"
                "                         [--fault-plan SPEC] [--adaptive] [--checkpoint]\n"
                "                         [--resume] [--checkpoint-every N]\n"
                "  SPEC: comma-separated key=value, e.g.\n"
@@ -59,6 +66,8 @@ struct Options {
   std::string archive = "fd_attack_campaign.fdtrace";
   bool keep_archive = false;
   bool json = false;
+  std::size_t batch = attack::kDefaultCpaBatch;
+  bool single_pass = true;
   std::string fault_plan;
   bool adaptive = false;
   bool checkpoint = false;
@@ -102,6 +111,14 @@ bool parse(int argc, char** argv, Options& opt) {
       const char* v = value();
       if (v == nullptr) return false;
       opt.archive = v;
+    } else if (arg == "--batch") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.batch = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--single-pass") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.single_pass = std::strtoul(v, nullptr, 0) != 0;
     } else if (arg == "--fault-plan") {
       const char* v = value();
       if (v == nullptr) return false;
@@ -122,7 +139,7 @@ bool parse(int argc, char** argv, Options& opt) {
     }
   }
   return opt.logn >= 1 && opt.logn <= 10 && opt.traces > 0 && opt.threads > 0 &&
-         opt.shards > 0;
+         opt.shards > 0 && opt.batch > 0;
 }
 
 }  // namespace
@@ -140,6 +157,8 @@ int main(int argc, char** argv) {
   cfg.attack.device.noise_sigma = opt.sigma;
   cfg.attack.seed = opt.seed;
   cfg.attack.threads = opt.threads;
+  cfg.attack.cpa_batch = opt.batch;
+  cfg.single_pass = opt.single_pass;
   cfg.capture_shards = opt.shards;
   cfg.archive_path = opt.archive;
   cfg.keep_archive = opt.keep_archive;
@@ -193,6 +212,8 @@ int main(int argc, char** argv) {
     field("traces", std::to_string(opt.traces), false);
     field("shards", std::to_string(opt.shards), false);
     field("threads", std::to_string(opt.threads), false);
+    field("cpa_batch", std::to_string(opt.batch), false);
+    field("single_pass", opt.single_pass ? "true" : "false", false);
     field("records", std::to_string(res.captured_records), false);
     field("components_correct", std::to_string(res.recovery.components_correct), false);
     field("components_total", std::to_string(res.recovery.components_total), false);
