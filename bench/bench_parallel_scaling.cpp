@@ -1,5 +1,7 @@
 // Scaling of the exec engine's two parallel surfaces: sharded capture
-// and the all-component attack, serial vs 2/4/8 workers.
+// and the all-component attack, serial vs 2/4/8 workers -- plus the
+// process-level fleet (DESIGN.md section 12): the full end-to-end
+// campaign through `fd-attack --worker` subprocesses at 1/2/4 workers.
 //
 //   ./bench_parallel_scaling [logn] [traces] [--json out.jsonl]
 //   (defaults: logn = 4, 240 traces)
@@ -7,10 +9,12 @@
 // Each worker count runs the IDENTICAL experiment (same shard plan,
 // same seeds -- the determinism contract of DESIGN.md section 9), so
 // wall-clock ratios are pure scheduling, not different work. Speedup is
-// reported against the pool-less serial path. On a single-core host the
-// expected result is ~1.0x across the board (the engine adds no
-// speedup where the machine has no parallelism to give) -- the bench
-// then documents overhead, not scaling.
+// reported against the pool-less serial path (fleet_e2e: against one
+// worker). On a single-core host the expected result is ~1.0x across
+// the board (the engine adds no speedup where the machine has no
+// parallelism to give) -- the bench then documents overhead, not
+// scaling. fleet_e2e additionally pays fork/exec + pipe-framing costs,
+// so its ratio vs in-process is the price of process isolation.
 
 #include <cstdio>
 #include <cstdlib>
@@ -24,6 +28,7 @@
 #include "common/rng.h"
 #include "exec/thread_pool.h"
 #include "falcon/falcon.h"
+#include "fleet/coordinator.h"
 #include "sca/campaign.h"
 #include "tracestore/archive.h"
 
@@ -73,6 +78,37 @@ double run_attack(const falcon::KeyPair& kp, const std::vector<sca::TraceSet>& s
   return ms;
 }
 
+#ifdef FD_ATTACK_BIN
+// One full fleet campaign (capture -> attack -> assemble -> forge)
+// through real worker subprocesses. The shard plan is fixed (same
+// capture shards, same component shards) so every worker count does
+// identical work; only the process scheduling changes.
+double run_fleet(unsigned logn, std::size_t traces, std::size_t workers,
+                 const std::string& path) {
+  fleet::FleetConfig fc;
+  fc.logn = logn;
+  fc.victim_seed = "scaling bench key";
+  fc.pipeline.attack.num_traces = traces;
+  fc.pipeline.attack.device.noise_sigma = 2.0;
+  fc.pipeline.attack.seed = 0xBE7C;
+  fc.pipeline.attack.adversarial_random = 60;
+  fc.pipeline.capture_shards = kShards;
+  fc.pipeline.checkpoint_every = 4;
+  fc.pipeline.archive_path = path;
+  fc.components_per_shard = 4;
+  fc.workers = workers;
+  fc.worker_binary = FD_ATTACK_BIN;
+  bench::WallTimer timer;
+  const auto res = fleet::run_fleet(fc);
+  const double ms = timer.ms();
+  if (!res.ok) {
+    std::fprintf(stderr, "fleet failed at %zu workers: %s\n", workers, res.error.c_str());
+    std::exit(2);
+  }
+  return ms;
+}
+#endif  // FD_ATTACK_BIN
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -119,5 +155,17 @@ int main(int argc, char** argv) {
                 atk_speedup);
     harness.report("attack_w" + label, params, atk_ms, atk_speedup, "x_vs_serial");
   }
+#ifdef FD_ATTACK_BIN
+  double fleet_base_ms = 0.0;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    const std::string path = "bench_fleet_" + std::to_string(workers) + ".fdtrace";
+    const double ms = run_fleet(logn, traces, workers, path);
+    if (workers == 1) fleet_base_ms = ms;
+    const double speedup = fleet_base_ms / ms;
+    const std::string label = std::to_string(workers);
+    std::printf("%-22s %10s %10.1f %9.2fx\n", "fleet_e2e", label.c_str(), ms, speedup);
+    harness.report("fleet_w" + label, params, ms, speedup, "x_vs_1worker");
+  }
+#endif  // FD_ATTACK_BIN
   return 0;
 }

@@ -111,6 +111,20 @@ void get_result(Cursor& c, ComponentResult& r) {
 
 }  // namespace
 
+void serialize_component_result(std::vector<std::uint8_t>& out, const ComponentResult& r) {
+  put_result(out, r);
+}
+
+bool deserialize_component_result(std::span<const std::uint8_t> bytes, std::size_t& offset,
+                                  ComponentResult& out) {
+  if (offset > bytes.size()) return false;
+  Cursor c{bytes.data() + offset, bytes.size() - offset, 0, false};
+  get_result(c, out);
+  if (c.fail) return false;
+  offset += c.off;
+  return true;
+}
+
 bool save_checkpoint(const std::string& path, const CheckpointState& state,
                      std::string* error) {
   const auto fail = [&](const std::string& what) {

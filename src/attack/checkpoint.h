@@ -24,12 +24,24 @@
 // checkpoint intact.
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "attack/extend_prune.h"
 
 namespace fd::attack {
+
+// The checkpoint's ComponentResult encoding, exposed as a standalone
+// serde pair because the fleet wire protocol (src/fleet) ships the same
+// records between processes. Scores travel as raw IEEE-754 bits, so a
+// round trip is bit-exact -- the property both the resume and the
+// coordinator-merge determinism contracts stand on.
+void serialize_component_result(std::vector<std::uint8_t>& out, const ComponentResult& r);
+// Reads one record at `offset` (advanced past it on success). Returns
+// false on a truncated or malformed buffer; `out` is unspecified then.
+[[nodiscard]] bool deserialize_component_result(std::span<const std::uint8_t> bytes,
+                                                std::size_t& offset, ComponentResult& out);
 
 struct CheckpointState {
   std::uint64_t config_hash = 0;

@@ -38,6 +38,7 @@
 // ~ 1e7 +- HW used to drive var_t negative and silently zero r).
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -101,6 +102,37 @@ struct CpaSums {
   // Only meaningful once the owning kernel has flushed its buffer.
   [[nodiscard]] double correlation(std::size_t guess, std::size_t sample) const;
 };
+
+// --- shard-fold merge and wire serde (fleet / distributed CPA) ------------
+//
+// A trace stream cut into shards can be folded shard-by-shard (each
+// shard its own CpaSums, possibly in another process) and recombined:
+// merge_cpa_sums rebases `src`'s shifted sums onto `dst`'s first-trace
+// references with the exact cross-term expansion
+//   sum (x - r_dst)   = sum (x - r_src)   + n*d
+//   sum (x - r_dst)^2 = sum (x - r_src)^2 + 2d*sum(x - r_src) + n*d^2
+//   (d = r_src - r_dst, per guess / per sample; sum_ht gains the
+//    corresponding dh/dt cross terms)
+// and accumulates in a fixed per-cell expression order. Merging is
+// therefore a pure function of the shard decomposition: folding shards
+// in shard-index order through merge_cpa_sums gives bit-identical sums
+// whether the shard folds were produced in this process, on another
+// thread (exec::parallel_reduce with this as the merge), or round-
+// tripped through the fleet wire format -- the determinism pin of
+// tests/test_fleet.cpp. The merged sums agree with the unsharded serial
+// fold exactly in real arithmetic (ULP-level differences in floating
+// point; the shard plan is part of the statistics' identity, like
+// batch_traces). An empty `dst` adopts `src` wholesale; shapes must
+// match otherwise.
+void merge_cpa_sums(CpaSums& dst, const CpaSums& src);
+
+// Byte-exact serde of a fold: every double travels as its raw IEEE-754
+// bit pattern (little-endian), so deserialize(serialize(s)) == s bit
+// for bit. `deserialize` reads one fold at `offset` (advanced past it
+// on success) and returns false on truncated or malformed input.
+void serialize_cpa_sums(std::vector<std::uint8_t>& out, const CpaSums& sums);
+[[nodiscard]] bool deserialize_cpa_sums(std::span<const std::uint8_t> bytes,
+                                        std::size_t& offset, CpaSums& out);
 
 // --- the batch-buffered kernel --------------------------------------------
 

@@ -163,6 +163,20 @@ RecoveryPipelineResult run_recovery_pipeline(const falcon::KeyPair& victim,
     if (!save_checkpoint(out.checkpoint_path, st, &err)) throw std::runtime_error(err);
   };
 
+  // Cooperative-shutdown check, called at batch boundaries: persists a
+  // final checkpoint first so the interrupt never strands a finished
+  // batch, then unwinds through the stage-failure path.
+  const auto check_interrupt = [&] {
+    if (config.interrupt_flag == nullptr || *config.interrupt_flag == 0) return;
+    persist();
+    out.interrupted = true;
+    obs::event("pipeline.interrupted")
+        .with("completed", st.completed())
+        .with("checkpoint", out.checkpoint_path)
+        .emit();
+    throw std::runtime_error("interrupted by signal");
+  };
+
   // Confidence of one finished component under the acceptance criterion.
   const auto confident = [&](std::size_t idx) {
     return component_confidence(results[idx], accepted[idx], config.remeasure.confidence)
@@ -219,6 +233,7 @@ RecoveryPipelineResult run_recovery_pipeline(const falcon::KeyPair& victim,
             : config.checkpoint_every;
     std::size_t completed = st.completed();
     for (std::size_t b = 0; b < todo.size(); b += batch_size) {
+      check_interrupt();
       if (config.abort_after_components != 0 &&
           completed >= config.abort_after_components) {
         throw std::runtime_error("aborted after " + std::to_string(completed) +
@@ -252,6 +267,7 @@ RecoveryPipelineResult run_recovery_pipeline(const falcon::KeyPair& victim,
                                          ? atk.num_traces
                                          : config.remeasure.round_traces;
     while (!low.empty() && round < config.remeasure.max_rounds) {
+      check_interrupt();
       ++round;
       obs::event("attack.pipeline.remeasure")
           .with("round", round)

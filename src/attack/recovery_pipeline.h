@@ -39,6 +39,7 @@
 // from seeds, so a faulted adaptive run is as reproducible as a clean
 // one.
 
+#include <csignal>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -82,6 +83,14 @@ struct RecoveryPipelineConfig {
   // Test hook simulating a kill: once this many components have been
   // checkpointed the attack stage throws. 0 = never.
   std::size_t abort_after_components = 0;
+
+  // Cooperative shutdown: when non-null and the pointee becomes nonzero
+  // (a signal handler flipping a sig_atomic_t), the pipeline stops at
+  // the next batch boundary -- after persisting a final checkpoint and
+  // emitting `pipeline.interrupted` -- and fails with result.interrupted
+  // set. A later resume run continues bit-identically (the kill-then-
+  // resume contract of tools/fd_attack.cpp's SIGTERM handler).
+  const volatile std::sig_atomic_t* interrupt_flag = nullptr;
 };
 
 struct RecoveryPipelineResult {
@@ -95,6 +104,7 @@ struct RecoveryPipelineResult {
   std::vector<std::size_t> flagged_components;  // low confidence at budget end
   bool partial = false;                // flagged_components nonempty
   bool resumed = false;                // a checkpoint was loaded
+  bool interrupted = false;            // stopped by config.interrupt_flag
   std::string checkpoint_path;         // set when checkpointing was on
 
   bool ok = false;

@@ -1,0 +1,776 @@
+#include "fleet/coordinator.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "attack/checkpoint.h"
+#include "attack/parallel_attack.h"
+#include "common/rng.h"
+#include "exec/parallel_for.h"
+#include "exec/seed_split.h"
+#include "falcon/falcon.h"
+#include "fleet/protocol.h"
+#include "obs/event.h"
+#include "obs/metrics.h"
+#include "sca/campaign.h"
+#include "tracestore/archive.h"
+
+namespace fd::fleet {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Binds worker checkpoints to this experiment: a FNV-1a/mix64 digest of
+// the encoded SessionConfig (every knob that changes captured bytes or
+// per-component decisions is in there). Reassigned shards accept a dead
+// predecessor's checkpoint iff it carries the same digest.
+std::uint64_t hash_session(const SessionConfig& cfg) {
+  std::vector<std::uint8_t> bytes;
+  encode_session(bytes, cfg);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const std::uint8_t b : bytes) h = (h ^ b) * 0x100000001b3ULL;
+  return exec::mix64(h);
+}
+
+struct Task {
+  TaskSpec spec;
+  std::size_t attempts = 0;  // dispatches so far
+  enum class State : std::uint8_t { kPending, kRunning, kDone, kFailed } state = State::kPending;
+  TaskResult result;
+  Clock::time_point eligible_at{};  // backoff gate for retries
+};
+
+struct WorkerProc {
+  int id = -1;
+  pid_t pid = -1;
+  int to_fd = -1;    // coordinator -> worker (worker stdin)
+  int from_fd = -1;  // worker stdout -> coordinator, nonblocking
+  FrameDecoder decoder;
+  Clock::time_point last_seen{};
+  std::ptrdiff_t task = -1;  // index into the current task vector
+  bool alive = false;
+};
+
+// The whole orchestration lives in one object so the stage lambdas of
+// the JobGraph share workers, telemetry, and merged state.
+class Coordinator {
+ public:
+  Coordinator(const FleetConfig& config, FleetResult& out)
+      : cfg_(config), out_(out), fplan_(config.pipeline.faults) {}
+
+  ~Coordinator() {
+    shutdown_workers();
+    if (telem_ != nullptr) std::fclose(telem_);
+  }
+
+  bool init() {
+    ChaCha20Prng rng(cfg_.victim_seed);
+    victim_ = falcon::keygen(cfg_.logn, rng);
+    n_ = victim_.sk.params.n;
+
+    session_.logn = cfg_.logn;
+    session_.victim_seed = cfg_.victim_seed;
+    session_.attack = cfg_.pipeline.attack;
+    session_.faults = cfg_.pipeline.faults;
+    session_.quality = cfg_.pipeline.quality;
+    session_.single_pass = cfg_.pipeline.single_pass;
+    session_.checkpoint_every = cfg_.pipeline.checkpoint_every;
+    session_.heartbeat_interval_ms = cfg_.heartbeat_interval_ms;
+    session_.session_hash = hash_session(session_);
+
+    results_.assign(n_, attack::ComponentResult{});
+    accepted_.assign(n_, 0);
+
+    if (!cfg_.telemetry_path.empty()) {
+      telem_ = std::fopen(cfg_.telemetry_path.c_str(), "wb");
+      if (telem_ == nullptr) {
+        out_.error = "fleet: cannot open telemetry file " + cfg_.telemetry_path;
+        return false;
+      }
+    }
+    if (cfg_.worker_binary.empty()) {
+      out_.error = "fleet: worker_binary not set";
+      return false;
+    }
+    if (cfg_.pipeline.archive_path.empty()) {
+      out_.error = "fleet: archive_path not set";
+      return false;
+    }
+    return true;
+  }
+
+  const falcon::KeyPair& victim() { return victim_; }
+
+  // --- stages --------------------------------------------------------------
+
+  void stage_spawn() {
+    const std::size_t want = std::max<std::size_t>(1, cfg_.workers);
+    for (std::size_t i = 0; i < want; ++i) {
+      if (!spawn_worker()) throw std::runtime_error("fleet: cannot spawn worker: " + spawn_error_);
+    }
+  }
+
+  std::uint64_t capture_round(std::size_t round, std::size_t num_traces,
+                              std::size_t query_offset, const std::string& path) {
+    const std::uint64_t round_seed =
+        round == 0 ? cfg_.pipeline.attack.seed
+                   : exec::split_seed(cfg_.pipeline.attack.seed, 0xAD0 + round);
+    const auto plan = exec::static_chunks(
+        num_traces, std::max<std::size_t>(1, cfg_.pipeline.capture_shards));
+    const std::size_t max_attempts =
+        std::max<std::size_t>(1, cfg_.pipeline.remeasure.max_capture_attempts);
+    for (std::size_t attempt = 0; attempt < max_attempts; ++attempt) {
+      ++out_.capture_attempts;
+      if (fplan_.capture_fails(round, attempt)) {
+        // Rig down: the same deterministic (round, attempt) keying and
+        // backoff as the single-process pipeline.
+        obs::MetricsRegistry::global().counter("attack.pipeline.capture_failures").add(1);
+        if (cfg_.pipeline.remeasure.backoff_base_ms > 0) {
+          std::this_thread::sleep_for(
+              std::chrono::milliseconds(cfg_.pipeline.remeasure.backoff_base_ms << attempt));
+        }
+        continue;
+      }
+      // One capture task per shard, replicating run_campaign_sharded's
+      // per-shard recipe bit for bit (seed lane, global fault offset,
+      // chunk damage deferred past the merge).
+      std::vector<Task> tasks(plan.size());
+      std::vector<std::string> shard_paths(plan.size());
+      for (std::size_t i = 0; i < plan.size(); ++i) {
+        shard_paths[i] = path + ".shard" + std::to_string(i);
+        TaskSpec& spec = tasks[i].spec;
+        spec.task_id = next_task_id_++;
+        spec.kind = TaskKind::kCapture;
+        spec.capture_traces = plan[i].size();
+        spec.capture_seed = exec::split_seed(round_seed, i);
+        spec.fault_query_offset = query_offset + plan[i].begin;
+        spec.out_path = shard_paths[i];
+      }
+      run_tasks(tasks);
+      std::uint64_t records = 0;
+      for (std::size_t i = 0; i < tasks.size(); ++i) {
+        if (tasks[i].state != Task::State::kDone) {
+          // Capture shards are load-bearing: without the shard file the
+          // merged archive (and every later stage) is wrong.
+          for (const auto& p : shard_paths) std::remove(p.c_str());
+          throw std::runtime_error("fleet: capture shard " + std::to_string(i) +
+                                   " failed permanently: " + tasks[i].result.error);
+        }
+        records += tasks[i].result.records;
+      }
+      std::string err;
+      if (!tracestore::merge_archives(shard_paths, path, &err)) {
+        for (const auto& p : shard_paths) std::remove(p.c_str());
+        throw std::runtime_error("fleet: capture merge failed: " + err);
+      }
+      for (const auto& p : shard_paths) std::remove(p.c_str());
+      if (cfg_.pipeline.faults.chunk_corrupt_rate > 0.0) {
+        std::string cerr;
+        if (!sca::corrupt_archive_chunks(path, fplan_, nullptr, &cerr)) {
+          throw std::runtime_error("fleet: " + cerr);
+        }
+      }
+      emit_event("fleet.capture.round", {{"round", round},
+                                         {"shards", plan.size()},
+                                         {"records", records}});
+      return records;
+    }
+    throw std::runtime_error(
+        "fleet: capture round " + std::to_string(round) + ": rig down after " +
+        std::to_string(max_attempts) + " attempts");
+  }
+
+  void stage_capture() {
+    out_.captured_records = static_cast<std::size_t>(
+        capture_round(0, cfg_.pipeline.attack.num_traces, 0, cfg_.pipeline.archive_path));
+  }
+
+  // Dispatches the listed components as contiguous component-range
+  // shards and merges every returned result by global component id.
+  // `allow_hooks` arms the kill/hang test hooks (main attack stage
+  // only, first attempt only).
+  void attack_components(const std::vector<std::size_t>& comps, bool allow_hooks) {
+    if (comps.empty()) return;
+    const std::size_t per =
+        std::max<std::size_t>(1, cfg_.components_per_shard);
+    std::vector<Task> tasks;
+    for (std::size_t b = 0; b < comps.size(); b += per) {
+      const std::size_t shard = tasks.size();
+      Task t;
+      TaskSpec& spec = t.spec;
+      spec.task_id = next_task_id_++;
+      spec.kind = TaskKind::kAttack;
+      spec.archive_path = cfg_.pipeline.archive_path;
+      spec.checkpoint_path = cfg_.pipeline.archive_path + ".task" +
+                             std::to_string(spec.task_id) + ".fdckpt";
+      checkpoint_paths_.push_back(spec.checkpoint_path);
+      const std::size_t end = std::min(comps.size(), b + per);
+      for (std::size_t i = b; i < end; ++i) {
+        spec.components.push_back(static_cast<std::uint32_t>(comps[i]));
+      }
+      if (allow_hooks && shard == cfg_.kill_shard) spec.kill_after = cfg_.kill_after;
+      if (allow_hooks && shard == cfg_.hang_shard) spec.hang_ms = cfg_.hang_ms;
+      tasks.push_back(std::move(t));
+    }
+    out_.attack_shards += tasks.size();
+    run_tasks(tasks);
+    for (const Task& t : tasks) {
+      if (t.state != Task::State::kDone) {
+        // Graceful degradation: the shard's components stay at their
+        // current (possibly default) results and ride into assemble
+        // flagged; the run is partial, never silently wrong.
+        for (const std::uint32_t comp : t.spec.components) {
+          failed_components_.push_back(comp);
+        }
+        continue;
+      }
+      for (const ComponentOutcome& o : t.result.outcomes) {
+        results_[o.component] = o.result;
+        accepted_[o.component] = static_cast<std::size_t>(o.accepted);
+      }
+      out_.quality.add(t.result.quality);
+      out_.archive_scans += t.result.archive_scans;
+    }
+  }
+
+  void stage_attack() {
+    std::vector<std::size_t> all(n_);
+    for (std::size_t i = 0; i < n_; ++i) all[i] = i;
+    attack_components(all, /*allow_hooks=*/true);
+  }
+
+  [[nodiscard]] std::vector<std::size_t> low_confidence_set() const {
+    std::vector<std::size_t> low;
+    if (!cfg_.pipeline.adaptive) return low;
+    for (std::size_t idx = 0; idx < n_; ++idx) {
+      if (!attack::component_confidence(results_[idx], accepted_[idx],
+                                        cfg_.pipeline.remeasure.confidence)
+               .confident) {
+        low.push_back(idx);
+      }
+    }
+    return low;
+  }
+
+  void stage_remeasure() {
+    if (cfg_.pipeline.adaptive) {
+      std::size_t round = 0;
+      std::vector<std::size_t> low = low_confidence_set();
+      const std::size_t round_traces = cfg_.pipeline.remeasure.round_traces == 0
+                                           ? cfg_.pipeline.attack.num_traces
+                                           : cfg_.pipeline.remeasure.round_traces;
+      const std::string& archive = cfg_.pipeline.archive_path;
+      while (!low.empty() && round < cfg_.pipeline.remeasure.max_rounds) {
+        ++round;
+        emit_event("fleet.remeasure.round",
+                   {{"round", round}, {"low_confidence", low.size()}});
+        const std::string extra = archive + ".r" + std::to_string(round);
+        const std::size_t offset =
+            cfg_.pipeline.attack.num_traces + (round - 1) * round_traces;
+        capture_round(round, round_traces, offset, extra);
+        const std::string merged = archive + ".merge";
+        const std::string inputs[] = {archive, extra};
+        std::string err;
+        if (!tracestore::merge_archives(inputs, merged, &err)) {
+          std::remove(extra.c_str());
+          throw std::runtime_error("fleet: re-measurement merge failed: " + err);
+        }
+        std::remove(extra.c_str());
+        if (std::rename(merged.c_str(), archive.c_str()) != 0) {
+          std::remove(merged.c_str());
+          throw std::runtime_error("fleet: re-measurement merge rename failed");
+        }
+        attack_components(low, /*allow_hooks=*/false);
+        low = low_confidence_set();
+      }
+      out_.remeasure_rounds = round;
+      out_.flagged_components = std::move(low);
+    }
+    // Permanently failed shards degrade the run the same way an
+    // exhausted re-measurement budget does.
+    out_.flagged_components.insert(out_.flagged_components.end(),
+                                   failed_components_.begin(), failed_components_.end());
+    std::sort(out_.flagged_components.begin(), out_.flagged_components.end());
+    out_.flagged_components.erase(
+        std::unique(out_.flagged_components.begin(), out_.flagged_components.end()),
+        out_.flagged_components.end());
+    out_.partial = !out_.flagged_components.empty();
+  }
+
+  void stage_assemble() {
+    // Snapshot the merge surface before assemble_row's in-place alias
+    // repair mutates it.
+    out_.results = results_;
+    out_.accepted_traces = accepted_;
+    assembled_ = attack::assemble_row(results_, victim_.sk.params.logn, /*row=*/0);
+    const auto& secret_row = victim_.sk.b01;
+    out_.recovery.components_total = n_;
+    for (std::size_t idx = 0; idx < n_; ++idx) {
+      out_.recovery.components_correct +=
+          assembled_.recovered[idx].bits() == secret_row[idx].bits();
+    }
+    out_.recovery.recovered_f = assembled_.poly;
+    out_.recovery.f_exact = std::equal(assembled_.poly.begin(), assembled_.poly.end(),
+                                       victim_.sk.f.begin(), victim_.sk.f.end());
+  }
+
+  void stage_forge() {
+    auto forged = attack::forge_key(out_.recovery.recovered_f, victim_.pk);
+    if (!forged) return;  // attack failed to land; not a fleet error
+    out_.recovery.ntru_solved = true;
+    out_.recovery.derived_g = forged->g;
+    ChaCha20Prng rng(cfg_.pipeline.attack.seed ^ 0xF04C3);
+    const auto sig = falcon::sign(*forged, "forged by the falcon-down adversary", rng);
+    out_.recovery.forgery_verified =
+        falcon::verify(victim_.pk, "forged by the falcon-down adversary", sig);
+  }
+
+  void cleanup(bool ok) {
+    shutdown_workers();
+    for (const auto& p : checkpoint_paths_) std::remove(p.c_str());
+    if (ok && !cfg_.pipeline.keep_archive) {
+      std::remove(cfg_.pipeline.archive_path.c_str());
+    }
+    emit_event("fleet.done", {{"ok", ok ? 1u : 0u},
+                              {"workers_spawned", out_.workers_spawned},
+                              {"worker_deaths", out_.worker_deaths},
+                              {"reassignments", out_.reassignments}});
+  }
+
+ private:
+  // --- worker lifecycle ----------------------------------------------------
+
+  bool spawn_worker() {
+    int to_pipe[2];    // coordinator writes, worker reads (stdin)
+    int from_pipe[2];  // worker writes (stdout), coordinator reads
+    if (::pipe(to_pipe) != 0) {
+      spawn_error_ = std::strerror(errno);
+      return false;
+    }
+    if (::pipe(from_pipe) != 0) {
+      spawn_error_ = std::strerror(errno);
+      ::close(to_pipe[0]);
+      ::close(to_pipe[1]);
+      return false;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      spawn_error_ = std::strerror(errno);
+      for (const int fd : {to_pipe[0], to_pipe[1], from_pipe[0], from_pipe[1]}) ::close(fd);
+      return false;
+    }
+    if (pid == 0) {
+      // Child: protocol on stdin/stdout, everything else inherited.
+      ::dup2(to_pipe[0], STDIN_FILENO);
+      ::dup2(from_pipe[1], STDOUT_FILENO);
+      for (const int fd : {to_pipe[0], to_pipe[1], from_pipe[0], from_pipe[1]}) ::close(fd);
+      const char* argv[] = {cfg_.worker_binary.c_str(), "--worker", nullptr};
+      ::execv(cfg_.worker_binary.c_str(), const_cast<char* const*>(argv));
+      std::fprintf(stderr, "fleet worker: exec %s failed: %s\n", cfg_.worker_binary.c_str(),
+                   std::strerror(errno));
+      ::_exit(127);
+    }
+    ::close(to_pipe[0]);
+    ::close(from_pipe[1]);
+    const int flags = ::fcntl(from_pipe[0], F_GETFL, 0);
+    ::fcntl(from_pipe[0], F_SETFL, flags | O_NONBLOCK);
+
+    WorkerProc w;
+    w.id = next_worker_id_++;
+    w.pid = pid;
+    w.to_fd = to_pipe[1];
+    w.from_fd = from_pipe[0];
+    w.last_seen = Clock::now();
+    w.alive = true;
+    ++out_.workers_spawned;
+    emit_event("fleet.worker.spawn", {{"worker", static_cast<std::uint64_t>(w.id)},
+                                      {"pid", static_cast<std::uint64_t>(pid)}});
+
+    // Ship the session immediately; the worker processes frames in
+    // order, so config-before-task holds without a handshake wait.
+    std::vector<std::uint8_t> payload;
+    encode_session(payload, session_);
+    if (!write_frame(w, FrameType::kConfig, payload)) {
+      reap_worker(w, "config write failed");
+      return false;
+    }
+    workers_.push_back(std::move(w));
+    return true;
+  }
+
+  // Full blocking write of one frame into the worker's stdin.
+  bool write_frame(WorkerProc& w, FrameType type, std::span<const std::uint8_t> payload) {
+    std::vector<std::uint8_t> frame;
+    encode_frame(frame, type, payload);
+    std::size_t off = 0;
+    while (off < frame.size()) {
+      const ssize_t k = ::write(w.to_fd, frame.data() + off, frame.size() - off);
+      if (k < 0) {
+        if (errno == EINTR) continue;
+        return false;  // EPIPE: worker died (SIGPIPE is blocked below)
+      }
+      off += static_cast<std::size_t>(k);
+    }
+    return true;
+  }
+
+  // Kills (if still running) and reaps one worker; does NOT requeue its
+  // task -- callers do that so the reason can be recorded first.
+  void reap_worker(WorkerProc& w, const std::string& why) {
+    if (!w.alive) return;
+    ::kill(w.pid, SIGKILL);
+    int status = 0;
+    ::waitpid(w.pid, &status, 0);
+    ::close(w.to_fd);
+    ::close(w.from_fd);
+    w.alive = false;
+    ++out_.worker_deaths;
+    emit_event("fleet.worker.dead", {{"worker", static_cast<std::uint64_t>(w.id)}}, why);
+  }
+
+  void shutdown_workers() {
+    for (WorkerProc& w : workers_) {
+      if (!w.alive) continue;
+      write_frame(w, FrameType::kShutdown, {});
+    }
+    // Grace window for clean exits, then the hammer.
+    const auto deadline = Clock::now() + std::chrono::milliseconds(2000);
+    for (WorkerProc& w : workers_) {
+      if (!w.alive) continue;
+      for (;;) {
+        int status = 0;
+        const pid_t got = ::waitpid(w.pid, &status, WNOHANG);
+        if (got == w.pid || got < 0) break;
+        if (Clock::now() >= deadline) {
+          ::kill(w.pid, SIGKILL);
+          ::waitpid(w.pid, &status, 0);
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+      ::close(w.to_fd);
+      ::close(w.from_fd);
+      w.alive = false;
+    }
+    workers_.clear();
+  }
+
+  // --- the scheduler loop --------------------------------------------------
+
+  static bool finished(const Task& t) {
+    return t.state == Task::State::kDone || t.state == Task::State::kFailed;
+  }
+
+  void requeue(std::vector<Task>& tasks, std::ptrdiff_t idx) {
+    if (idx < 0) return;
+    Task& t = tasks[static_cast<std::size_t>(idx)];
+    if (t.state != Task::State::kRunning) return;
+    if (t.attempts >= std::max<std::size_t>(1, cfg_.max_task_attempts)) {
+      t.state = Task::State::kFailed;
+      if (t.result.error.empty()) t.result.error = "retry budget exhausted";
+      emit_event("fleet.task.failed", {{"task", t.spec.task_id}});
+      return;
+    }
+    t.state = Task::State::kPending;
+    const std::size_t backoff =
+        cfg_.backoff_base_ms == 0 ? 0 : cfg_.backoff_base_ms << (t.attempts - 1);
+    t.eligible_at = Clock::now() + std::chrono::milliseconds(backoff);
+    ++out_.reassignments;
+    emit_event("fleet.task.reassign",
+               {{"task", t.spec.task_id}, {"attempt", t.attempts}});
+  }
+
+  void on_worker_death(std::vector<Task>& tasks, WorkerProc& w, const std::string& why) {
+    const std::ptrdiff_t task = w.task;
+    w.task = -1;
+    reap_worker(w, why);
+    requeue(tasks, task);
+  }
+
+  void handle_frame(std::vector<Task>& tasks, WorkerProc& w, const Frame& frame) {
+    w.last_seen = Clock::now();
+    switch (frame.type) {
+      case FrameType::kHello:
+      case FrameType::kHeartbeat:
+        break;
+      case FrameType::kTelemetry:
+        write_worker_line(w.id, frame.payload);
+        break;
+      case FrameType::kProgress: {
+        Progress p;
+        if (decode_progress(frame.payload, p)) {
+          emit_event("fleet.progress", {{"worker", static_cast<std::uint64_t>(w.id)},
+                                        {"task", p.task_id},
+                                        {"completed", p.completed},
+                                        {"total", p.total}});
+        }
+        break;
+      }
+      case FrameType::kResult: {
+        TaskResult res;
+        if (!decode_result(frame.payload, res)) {
+          on_worker_death(tasks, w, "undecodable result frame");
+          break;
+        }
+        const std::ptrdiff_t idx = w.task;
+        w.task = -1;
+        if (idx < 0 || tasks[static_cast<std::size_t>(idx)].spec.task_id != res.task_id) {
+          break;  // stale result from before a reassignment: drop it
+        }
+        Task& t = tasks[static_cast<std::size_t>(idx)];
+        t.result = std::move(res);
+        if (t.result.ok) {
+          t.state = Task::State::kDone;
+          emit_event("fleet.task.done", {{"task", t.spec.task_id},
+                                         {"worker", static_cast<std::uint64_t>(w.id)}});
+        } else {
+          // The worker is healthy; the task itself reported failure.
+          // Bounded retries still apply (the failure may be a dead
+          // archive shard a previous attempt will have rewritten).
+          emit_event("fleet.task.error", {{"task", t.spec.task_id}}, t.result.error);
+          requeue(tasks, idx);
+        }
+        break;
+      }
+      case FrameType::kError: {
+        const std::string msg(reinterpret_cast<const char*>(frame.payload.data()),
+                              frame.payload.size());
+        on_worker_death(tasks, w, "worker error: " + msg);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  // Runs every task to kDone or kFailed, spawning/replacing workers as
+  // needed. Throws only when no worker can be spawned at all.
+  void run_tasks(std::vector<Task>& tasks) {
+    const auto remaining = [&] {
+      std::size_t r = 0;
+      for (const Task& t : tasks) r += !finished(t);
+      return r;
+    };
+    while (remaining() > 0) {
+      // Reap exits the pipe hasn't surfaced yet (a SIGKILLed worker's
+      // EOF usually arrives first, but don't depend on ordering).
+      for (WorkerProc& w : workers_) {
+        if (!w.alive) continue;
+        int status = 0;
+        if (::waitpid(w.pid, &status, WNOHANG) == w.pid) {
+          ::close(w.to_fd);
+          ::close(w.from_fd);
+          w.alive = false;
+          ++out_.worker_deaths;
+          const std::ptrdiff_t task = w.task;
+          w.task = -1;
+          emit_event("fleet.worker.dead", {{"worker", static_cast<std::uint64_t>(w.id)}},
+                     WIFSIGNALED(status) ? "killed by signal" : "exited");
+          requeue(tasks, task);
+        }
+      }
+      std::erase_if(workers_, [](const WorkerProc& w) { return !w.alive; });
+
+      // Keep the fleet at strength while work remains.
+      const std::size_t want =
+          std::min(std::max<std::size_t>(1, cfg_.workers), remaining());
+      while (workers_.size() < want) {
+        if (!spawn_worker()) {
+          if (workers_.empty()) {
+            throw std::runtime_error("fleet: no workers could be spawned: " + spawn_error_);
+          }
+          break;  // degrade to the workers we have
+        }
+      }
+
+      // Assign eligible pending tasks to idle workers, both in index
+      // order (scheduling order is observability-only; results merge by
+      // component id).
+      const auto now = Clock::now();
+      for (std::size_t ti = 0; ti < tasks.size(); ++ti) {
+        Task& t = tasks[ti];
+        if (t.state != Task::State::kPending || t.eligible_at > now) continue;
+        WorkerProc* idle = nullptr;
+        for (WorkerProc& w : workers_) {
+          if (w.alive && w.task < 0) {
+            idle = &w;
+            break;
+          }
+        }
+        if (idle == nullptr) break;
+        TaskSpec spec = t.spec;
+        if (t.attempts > 0) {
+          // Failure hooks fire on the first attempt only -- the retry
+          // must complete, that's the scenario under test.
+          spec.kill_after = 0;
+          spec.hang_ms = 0;
+        }
+        std::vector<std::uint8_t> payload;
+        encode_task(payload, spec);
+        ++t.attempts;
+        if (!write_frame(*idle, FrameType::kTask, payload)) {
+          on_worker_death(tasks, *idle, "task write failed");
+          continue;
+        }
+        t.state = Task::State::kRunning;
+        idle->task = static_cast<std::ptrdiff_t>(ti);
+        emit_event("fleet.task.assign",
+                   {{"task", spec.task_id},
+                    {"worker", static_cast<std::uint64_t>(idle->id)},
+                    {"attempt", t.attempts},
+                    {"components", spec.components.size()}});
+      }
+
+      // Wait for traffic.
+      std::vector<pollfd> fds;
+      fds.reserve(workers_.size());
+      for (const WorkerProc& w : workers_) {
+        fds.push_back({w.from_fd, POLLIN, 0});
+      }
+      const int timeout_ms = static_cast<int>(
+          std::clamp<std::size_t>(cfg_.heartbeat_interval_ms, 5, 200));
+      ::poll(fds.data(), fds.size(), timeout_ms);
+
+      for (std::size_t i = 0; i < fds.size(); ++i) {
+        WorkerProc& w = workers_[i];
+        if (!w.alive || (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        bool eof = false;
+        std::uint8_t buf[64 << 10];
+        for (;;) {
+          const ssize_t k = ::read(w.from_fd, buf, sizeof buf);
+          if (k > 0) {
+            w.decoder.feed({buf, static_cast<std::size_t>(k)});
+            continue;
+          }
+          if (k == 0) eof = true;
+          if (k < 0 && errno == EINTR) continue;
+          break;  // EAGAIN (drained) or EOF or error
+        }
+        Frame frame;
+        while (w.alive && w.decoder.next(frame)) handle_frame(tasks, w, frame);
+        if (w.alive && w.decoder.corrupt()) {
+          on_worker_death(tasks, w, "corrupt frame stream: " + w.decoder.error());
+        } else if (w.alive && eof) {
+          on_worker_death(tasks, w, "pipe closed");
+        }
+      }
+
+      // Heartbeat timeouts: any frame counts as liveness.
+      const auto deadline_now = Clock::now();
+      for (WorkerProc& w : workers_) {
+        if (!w.alive) continue;
+        const auto silent = std::chrono::duration_cast<std::chrono::milliseconds>(
+                                deadline_now - w.last_seen)
+                                .count();
+        if (silent > static_cast<long long>(cfg_.heartbeat_timeout_ms)) {
+          on_worker_death(tasks, w, "heartbeat timeout");
+        }
+      }
+    }
+  }
+
+  // --- telemetry -----------------------------------------------------------
+
+  void write_line(std::string_view line) {
+    if (telem_ == nullptr || line.empty()) return;
+    std::fwrite(line.data(), 1, line.size(), telem_);
+    std::fputc('\n', telem_);
+    std::fflush(telem_);  // per-line flush: --follow tails a live run
+    ++out_.telemetry_lines;
+  }
+
+  // Tags a worker's JSONL line with its id: `..}` -> `..,"worker":N}`.
+  void write_worker_line(int worker_id, std::span<const std::uint8_t> payload) {
+    if (telem_ == nullptr) return;
+    std::string line(reinterpret_cast<const char*>(payload.data()), payload.size());
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) line.pop_back();
+    const std::size_t brace = line.rfind('}');
+    if (brace != std::string::npos) {
+      line.insert(brace, ",\"worker\":" + std::to_string(worker_id));
+    }
+    write_line(line);
+  }
+
+  // Coordinator-side fleet.* lines, built on the always-compiled Event
+  // model so they flow even in FD_OBS=OFF builds.
+  void emit_event(std::string_view name,
+                  std::initializer_list<std::pair<const char*, std::uint64_t>> fields,
+                  const std::string& detail = {}) {
+    if (telem_ == nullptr) return;
+    obs::Event ev;
+    ev.name = std::string(name);
+    for (const auto& [key, value] : fields) ev.add(key, obs::FieldValue::of(value));
+    if (!detail.empty()) ev.add("detail", obs::FieldValue::of(std::string_view(detail)));
+    write_line(obs::to_jsonl(ev));
+  }
+
+  const FleetConfig& cfg_;
+  FleetResult& out_;
+  sca::FaultPlan fplan_;
+  falcon::KeyPair victim_;
+  std::size_t n_ = 0;
+  SessionConfig session_;
+
+  std::vector<WorkerProc> workers_;
+  int next_worker_id_ = 0;
+  std::uint32_t next_task_id_ = 1;
+  std::string spawn_error_;
+
+  std::vector<attack::ComponentResult> results_;
+  std::vector<std::size_t> accepted_;
+  std::vector<std::uint32_t> failed_components_;
+  std::vector<std::string> checkpoint_paths_;
+  attack::RowAssembly assembled_;
+
+  std::FILE* telem_ = nullptr;
+};
+
+// Writing into a pipe whose worker just died must surface as EPIPE, not
+// kill the coordinator. Scoped so library users keep their disposition.
+class ScopedSigpipeIgnore {
+ public:
+  ScopedSigpipeIgnore() { prev_ = ::signal(SIGPIPE, SIG_IGN); }
+  ~ScopedSigpipeIgnore() { ::signal(SIGPIPE, prev_); }
+
+ private:
+  void (*prev_)(int);
+};
+
+}  // namespace
+
+FleetResult run_fleet(const FleetConfig& config) {
+  FleetResult out;
+  ScopedSigpipeIgnore sigpipe;
+  Coordinator coord(config, out);
+  if (!coord.init()) return out;
+
+  exec::JobGraph graph;
+  const auto spawn = graph.add("spawn", [&] { coord.stage_spawn(); });
+  const auto capture = graph.add("capture", [&] { coord.stage_capture(); }, {spawn});
+  const auto attack = graph.add("attack", [&] { coord.stage_attack(); }, {capture});
+  const auto remeasure = graph.add("remeasure", [&] { coord.stage_remeasure(); }, {attack});
+  const auto assemble = graph.add("assemble", [&] { coord.stage_assemble(); }, {remeasure});
+  graph.add("forge", [&] { coord.stage_forge(); }, {assemble});
+
+  out.stages = graph.run_collect(nullptr, &out.error);
+  out.ok = out.error.empty();
+  coord.cleanup(out.ok);
+  obs::MetricsRegistry::global().counter("fleet.runs").add(1);
+  return out;
+}
+
+}  // namespace fd::fleet

@@ -1,0 +1,222 @@
+#pragma once
+// Fleet wire protocol: the coordinator <-> worker frame format.
+//
+// A fleet run (coordinator.h) shards one recovery campaign across
+// `fd-attack --worker` subprocesses connected by pipes. Everything that
+// crosses a pipe is a length-prefixed, versioned frame:
+//
+//   u32 magic "FDFL" | u16 version | u16 type | u32 payload_len | payload
+//
+// all little-endian. The magic + version land in every frame (not just
+// a handshake) so a desynchronized or truncated stream is detected at
+// the very next frame boundary instead of being misparsed; payloads are
+// bounded (kMaxPayload) so a corrupt length can't trigger a giant
+// allocation. FrameDecoder reassembles frames from arbitrary read()
+// fragments -- pipes deliver whatever they like.
+//
+// Payload catalogue (all serde here, so both endpoints share one
+// encoding and the round-trip tests in tests/test_fleet.cpp pin it):
+//   kHello      worker -> coordinator: protocol version + pid
+//   kConfig     coordinator -> worker: SessionConfig (the experiment;
+//               the victim key travels as its keygen seed string, never
+//               as key material)
+//   kTask       coordinator -> worker: TaskSpec (capture shard or
+//               component-range attack shard)
+//   kHeartbeat  worker -> coordinator: liveness tick (empty payload)
+//   kProgress   worker -> coordinator: Progress (components done so far)
+//   kTelemetry  worker -> coordinator: one obs JSONL line, forwarded
+//               verbatim; the coordinator tags it with the worker id
+//               and appends it to the unified telemetry file
+//   kResult     worker -> coordinator: TaskResult (capture counts, or
+//               per-component results + quality + archive-scan delta;
+//               every score as raw IEEE-754 bits -- bit-exact)
+//   kFold       either direction: a serialized CpaSums shard fold
+//               (attack/cpa_kernel.h), the transport for distributed
+//               streaming-CPA aggregation; merging deserialized folds
+//               in shard-index order equals the in-process
+//               parallel_reduce merge bit for bit
+//   kShutdown   coordinator -> worker: drain and exit 0
+//   kError      worker -> coordinator: fatal worker-side message
+//
+// Decode functions are total: any truncated, overlong, or out-of-range
+// payload returns false and never throws -- a dying worker's half
+// frame must not take the coordinator down with it.
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "attack/checkpoint.h"
+#include "attack/cpa_kernel.h"
+#include "attack/key_recovery.h"
+#include "attack/quality.h"
+#include "sca/faults.h"
+
+namespace fd::fleet {
+
+inline constexpr std::uint32_t kFrameMagic = 0x4C464446;  // "FDFL" little-endian
+inline constexpr std::uint16_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderSize = 12;
+// Largest payload a peer will accept. Generous for real traffic (an
+// n = 1024 attack shard's results are ~100 KB) yet small enough that a
+// corrupt length field fails fast.
+inline constexpr std::size_t kMaxPayload = 64u << 20;
+
+enum class FrameType : std::uint16_t {
+  kHello = 1,
+  kConfig = 2,
+  kTask = 3,
+  kHeartbeat = 4,
+  kProgress = 5,
+  kTelemetry = 6,
+  kResult = 7,
+  kFold = 8,
+  kShutdown = 9,
+  kError = 10,
+};
+
+struct Frame {
+  FrameType type = FrameType::kHeartbeat;
+  std::vector<std::uint8_t> payload;
+};
+
+// Appends one complete frame (header + payload) to `out`.
+void encode_frame(std::vector<std::uint8_t>& out, FrameType type,
+                  std::span<const std::uint8_t> payload);
+
+// Incremental frame reassembly over arbitrary byte fragments. feed()
+// whatever read() returned; next() pops complete frames in order. A
+// bad magic, unknown version, or oversized length latches `corrupt`
+// (the stream is unrecoverable past that point -- frames have no
+// resync marker by design; the coordinator kills the worker instead).
+class FrameDecoder {
+ public:
+  void feed(std::span<const std::uint8_t> bytes);
+  [[nodiscard]] bool next(Frame& out);
+  [[nodiscard]] bool corrupt() const { return corrupt_; }
+  [[nodiscard]] const std::string& error() const { return error_; }
+  [[nodiscard]] std::size_t buffered() const { return buf_.size() - pos_; }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t pos_ = 0;
+  bool corrupt_ = false;
+  std::string error_;
+};
+
+// --- session configuration -------------------------------------------------
+
+// Everything a worker needs to reproduce the coordinator's experiment
+// exactly. The victim secret never crosses the pipe: both sides run
+// falcon::keygen(logn, ChaCha20Prng(victim_seed)) and the determinism
+// of keygen makes the keys identical.
+struct SessionConfig {
+  unsigned logn = 5;
+  std::string victim_seed = "victim key seed";
+  attack::KeyRecoveryConfig attack;  // attack.threads = worker-internal pool
+  sca::FaultConfig faults;
+  attack::QualityConfig quality;
+  bool single_pass = true;
+  std::size_t checkpoint_every = 8;      // worker sub-batch + persist cadence
+  std::uint64_t session_hash = 0;        // binds worker checkpoints to the run
+  std::size_t heartbeat_interval_ms = 50;
+};
+
+void encode_session(std::vector<std::uint8_t>& out, const SessionConfig& cfg);
+[[nodiscard]] bool decode_session(std::span<const std::uint8_t> bytes, SessionConfig& out);
+
+// --- tasks -----------------------------------------------------------------
+
+enum class TaskKind : std::uint8_t {
+  kCapture = 0,  // one capture shard -> a .fdtrace shard file
+  kAttack = 1,   // one contiguous component range against the archive
+};
+
+struct TaskSpec {
+  std::uint32_t task_id = 0;
+  TaskKind kind = TaskKind::kCapture;
+
+  // kCapture: replicate exactly one shard of run_campaign_sharded --
+  // the seed and fault offset are computed coordinator-side from the
+  // shard plan, so the merged archive is byte-identical to the
+  // single-process sharded capture.
+  std::uint64_t capture_traces = 0;
+  std::uint64_t capture_seed = 0;
+  std::uint64_t fault_query_offset = 0;
+  std::string out_path;
+
+  // kAttack: the component ids to attack and where the shard's own
+  // .fdckpt lives (stable per task, not per worker, so a reassigned
+  // shard resumes from the dead worker's checkpoint).
+  std::string archive_path;
+  std::string checkpoint_path;
+  std::vector<std::uint32_t> components;
+
+  // Failure-injection hooks for the robustness tests; zero in real
+  // runs. kill_after: raise(SIGKILL) after that many components have
+  // been completed AND persisted this execution. hang_ms: mute
+  // heartbeats and sleep before starting (heartbeat-timeout path).
+  std::uint32_t kill_after = 0;
+  std::uint32_t hang_ms = 0;
+};
+
+void encode_task(std::vector<std::uint8_t>& out, const TaskSpec& spec);
+[[nodiscard]] bool decode_task(std::span<const std::uint8_t> bytes, TaskSpec& out);
+
+// --- results ---------------------------------------------------------------
+
+struct ComponentOutcome {
+  std::uint32_t component = 0;          // global component id
+  attack::ComponentResult result;       // raw-bits serde: bit-exact
+  std::uint64_t accepted = 0;           // post-gate trace count (D)
+};
+
+struct TaskResult {
+  std::uint32_t task_id = 0;
+  TaskKind kind = TaskKind::kCapture;
+  bool ok = false;
+  std::string error;
+
+  // kCapture
+  std::uint64_t queries = 0;
+  std::uint64_t records = 0;
+
+  // kAttack. `quality` counts only the traces screened by THIS
+  // execution: components restored from a predecessor's checkpoint ship
+  // their results but not the dead worker's unreported gate counts
+  // (observational data; the key-identity contract doesn't cover it).
+  std::vector<ComponentOutcome> outcomes;
+  attack::QualityReport quality;
+  std::uint64_t archive_scans = 0;  // attack.archive.scans delta
+};
+
+void encode_result(std::vector<std::uint8_t>& out, const TaskResult& res);
+[[nodiscard]] bool decode_result(std::span<const std::uint8_t> bytes, TaskResult& out);
+
+// --- small frames ----------------------------------------------------------
+
+struct Hello {
+  std::uint16_t version = kProtocolVersion;
+  std::uint64_t pid = 0;
+};
+void encode_hello(std::vector<std::uint8_t>& out, const Hello& h);
+[[nodiscard]] bool decode_hello(std::span<const std::uint8_t> bytes, Hello& out);
+
+struct Progress {
+  std::uint32_t task_id = 0;
+  std::uint64_t completed = 0;  // components finished (incl. restored)
+  std::uint64_t total = 0;
+};
+void encode_progress(std::vector<std::uint8_t>& out, const Progress& p);
+[[nodiscard]] bool decode_progress(std::span<const std::uint8_t> bytes, Progress& out);
+
+// Fold frames: task_id + one serialized CpaSums (attack/cpa_kernel.h).
+struct FoldFrame {
+  std::uint32_t task_id = 0;
+  attack::CpaSums sums;
+};
+void encode_fold(std::vector<std::uint8_t>& out, const FoldFrame& f);
+[[nodiscard]] bool decode_fold(std::span<const std::uint8_t> bytes, FoldFrame& out);
+
+}  // namespace fd::fleet

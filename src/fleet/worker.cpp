@@ -1,0 +1,354 @@
+#include "fleet/worker.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "attack/checkpoint.h"
+#include "attack/parallel_attack.h"
+#include "common/rng.h"
+#include "exec/seed_split.h"
+#include "falcon/falcon.h"
+#include "fleet/protocol.h"
+#include "obs/metrics.h"
+#include "obs/sink.h"
+#include "sca/campaign.h"
+
+namespace fd::fleet {
+
+namespace {
+
+// Serializes every frame write onto one fd: the task loop, the
+// heartbeat thread, and the telemetry sink all write here, and a frame
+// must hit the pipe atomically (the decoder has no resync marker).
+class FrameWriter {
+ public:
+  explicit FrameWriter(int fd) : fd_(fd) {}
+
+  bool send(FrameType type, std::span<const std::uint8_t> payload) {
+    std::vector<std::uint8_t> frame;
+    frame.reserve(kFrameHeaderSize + payload.size());
+    encode_frame(frame, type, payload);
+    std::lock_guard<std::mutex> lock(mu_);
+    std::size_t off = 0;
+    while (off < frame.size()) {
+      const ssize_t n = ::write(fd_, frame.data() + off, frame.size() - off);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return false;  // coordinator gone; caller decides how to die
+      }
+      off += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  bool send(FrameType type) { return send(type, {}); }
+
+  bool send_string(FrameType type, std::string_view s) {
+    return send(type, {reinterpret_cast<const std::uint8_t*>(s.data()), s.size()});
+  }
+
+ private:
+  int fd_;
+  std::mutex mu_;
+};
+
+// Forwards every locally emitted obs event to the coordinator as a
+// kTelemetry frame (one JSONL line per frame). The coordinator tags the
+// line with this worker's id and appends it to the unified stream.
+class ForwardingSink final : public obs::TelemetrySink {
+ public:
+  explicit ForwardingSink(FrameWriter& writer) : writer_(writer) {}
+  void record(const obs::Event& ev) override {
+    writer_.send_string(FrameType::kTelemetry, obs::to_jsonl(ev));
+  }
+
+ private:
+  FrameWriter& writer_;
+};
+
+// Liveness ticks on their own thread so a long CPA batch never reads
+// as a dead worker. `mute` is the hang_ms test hook: a muted heartbeat
+// is exactly what a wedged worker looks like from the coordinator.
+class Heartbeat {
+ public:
+  Heartbeat(FrameWriter& writer, std::size_t interval_ms)
+      : writer_(writer), interval_ms_(interval_ms == 0 ? 50 : interval_ms) {
+    thread_ = std::thread([this] { run(); });
+  }
+  ~Heartbeat() {
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+  }
+  void mute(bool on) { mute_.store(on, std::memory_order_relaxed); }
+
+ private:
+  void run() {
+    while (!stop_.load(std::memory_order_relaxed)) {
+      if (!mute_.load(std::memory_order_relaxed)) writer_.send(FrameType::kHeartbeat);
+      // Sleep in short slices so destruction never waits a full interval.
+      std::size_t slept = 0;
+      while (slept < interval_ms_ && !stop_.load(std::memory_order_relaxed)) {
+        const std::size_t slice = std::min<std::size_t>(10, interval_ms_ - slept);
+        std::this_thread::sleep_for(std::chrono::milliseconds(slice));
+        slept += slice;
+      }
+    }
+  }
+
+  FrameWriter& writer_;
+  std::size_t interval_ms_;
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> mute_{false};
+  std::thread thread_;
+};
+
+// Per-session worker state, built once the kConfig frame arrives.
+struct Session {
+  SessionConfig cfg;
+  falcon::KeyPair victim;
+  std::unique_ptr<exec::ThreadPool> pool;
+};
+
+TaskResult run_capture_task(const Session& s, const TaskSpec& spec) {
+  TaskResult res;
+  res.task_id = spec.task_id;
+  res.kind = TaskKind::kCapture;
+  sca::CampaignConfig camp;
+  camp.num_traces = static_cast<std::size_t>(spec.capture_traces);
+  camp.device = s.cfg.attack.device;
+  camp.seed = spec.capture_seed;
+  camp.row = 0;
+  camp.faults = s.cfg.faults;
+  // Chunk damage keys on the MERGED archive's chunk ordinals; the
+  // coordinator applies it after the merge, exactly like
+  // run_campaign_sharded defers it past the shard files.
+  camp.faults.chunk_corrupt_rate = 0.0;
+  camp.fault_query_offset = static_cast<std::size_t>(spec.fault_query_offset);
+  const auto campaign = sca::run_campaign_to_archive(s.victim.sk, camp, spec.out_path);
+  if (!campaign.ok) {
+    res.error = "capture: " + campaign.error;
+    return res;
+  }
+  res.queries = campaign.queries;
+  res.records = campaign.records;
+  res.ok = true;
+  return res;
+}
+
+TaskResult run_attack_task(const Session& s, const TaskSpec& spec, FrameWriter& writer,
+                           Heartbeat& heartbeat) {
+  TaskResult res;
+  res.task_id = spec.task_id;
+  res.kind = TaskKind::kAttack;
+  if (spec.hang_ms > 0) {
+    // Wedge simulation: stop announcing liveness and stall. The
+    // coordinator's heartbeat timeout must fire and reassign the shard;
+    // when it SIGKILLs us mid-sleep we never wake up.
+    heartbeat.mute(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(spec.hang_ms));
+    heartbeat.mute(false);
+  }
+
+  const std::size_t n = s.victim.sk.params.n;
+  const auto config_for = [&](const attack::ComponentIndex& ci) {
+    return attack::component_attack_config(s.victim.sk, s.cfg.attack, /*row=*/0, ci.slot,
+                                           ci.imag);
+  };
+
+  // The shard's own checkpoint, bound to (session, task) so a worker
+  // restarted on the SAME task resumes it and any other task refuses
+  // the file. Components finished by a dead predecessor are skipped --
+  // their results come out of the checkpoint bit-identical.
+  const std::uint64_t ckpt_hash = s.cfg.session_hash ^ exec::mix64(spec.task_id + 1);
+  attack::CheckpointState st;
+  st.reset(n);
+  st.config_hash = ckpt_hash;
+  if (!spec.checkpoint_path.empty()) {
+    attack::CheckpointState loaded;
+    if (attack::load_checkpoint(spec.checkpoint_path, loaded) &&
+        loaded.config_hash == ckpt_hash && loaded.done.size() == n) {
+      st = std::move(loaded);
+    }
+  }
+
+  std::vector<attack::ComponentResult> results(n);
+  std::vector<std::size_t> accepted(n, 0);
+  std::vector<std::size_t> todo;
+  std::uint64_t done_before = 0;
+  for (const std::uint32_t comp : spec.components) {
+    if (comp >= n) {
+      res.error = "attack: component id out of range";
+      return res;
+    }
+    if (st.done[comp] != 0) {
+      results[comp] = st.results[comp];
+      accepted[comp] = static_cast<std::size_t>(st.accepted_traces[comp]);
+      ++done_before;
+    } else {
+      todo.push_back(comp);
+    }
+  }
+
+  auto& scans = obs::MetricsRegistry::global().counter("attack.archive.scans");
+  const std::uint64_t scans_before = scans.value();
+  const std::size_t batch_size =
+      s.cfg.checkpoint_every == 0 ? std::max<std::size_t>(1, todo.size())
+                                  : s.cfg.checkpoint_every;
+  std::uint64_t completed_this_run = 0;
+  for (std::size_t b = 0; b < todo.size(); b += batch_size) {
+    const std::size_t end = std::min(todo.size(), b + batch_size);
+    const std::span<const std::size_t> batch(todo.data() + b, end - b);
+    attack::QualityReport q;
+    std::string err;
+    if (!attack::attack_components_gated(spec.archive_path, s.cfg.quality, config_for,
+                                         s.pool.get(), batch, results, accepted, &q, &err,
+                                         s.cfg.single_pass)) {
+      res.error = "attack: " + err;
+      return res;
+    }
+    res.quality.add(q);
+    for (const std::size_t idx : batch) {
+      st.done[idx] = 1;
+      st.results[idx] = results[idx];
+      st.accepted_traces[idx] = accepted[idx];
+    }
+    completed_this_run += batch.size();
+    if (!spec.checkpoint_path.empty()) {
+      std::string perr;
+      if (!attack::save_checkpoint(spec.checkpoint_path, st, &perr)) {
+        res.error = perr;
+        return res;
+      }
+    }
+    Progress p;
+    p.task_id = spec.task_id;
+    p.completed = done_before + completed_this_run;
+    p.total = spec.components.size();
+    std::vector<std::uint8_t> payload;
+    encode_progress(payload, p);
+    writer.send(FrameType::kProgress, payload);
+    if (spec.kill_after > 0 && completed_this_run >= spec.kill_after) {
+      // Crash simulation with the persist-then-die ordering the
+      // reassignment test relies on: the checkpoint above has this
+      // batch, the kResult frame never goes out.
+      std::raise(SIGKILL);
+    }
+  }
+
+  res.archive_scans = scans.value() - scans_before;
+  res.outcomes.reserve(spec.components.size());
+  for (const std::uint32_t comp : spec.components) {
+    ComponentOutcome o;
+    o.component = comp;
+    o.result = results[comp];
+    o.accepted = accepted[comp];
+    res.outcomes.push_back(std::move(o));
+  }
+  // The shard is done and reported; its checkpoint must not shadow a
+  // later experiment reusing the path.
+  if (!spec.checkpoint_path.empty()) std::remove(spec.checkpoint_path.c_str());
+  res.ok = true;
+  return res;
+}
+
+}  // namespace
+
+int run_worker(int in_fd, int out_fd) {
+  FrameWriter writer(out_fd);
+  FrameDecoder decoder;
+  std::optional<Session> session;
+  std::unique_ptr<Heartbeat> heartbeat;
+  std::unique_ptr<ForwardingSink> telemetry;
+
+  {
+    Hello hello;
+    hello.pid = static_cast<std::uint64_t>(::getpid());
+    std::vector<std::uint8_t> payload;
+    encode_hello(payload, hello);
+    writer.send(FrameType::kHello, payload);
+  }
+
+  // Uninstall the forwarding sink before any exit -- the heartbeat and
+  // sink objects die with this scope, and a dangling global sink in a
+  // still-winding-down process is a use-after-free waiting to happen.
+  const auto finish = [&](int code) {
+    obs::set_sink(nullptr);
+    return code;
+  };
+
+  std::uint8_t buf[64 << 10];
+  for (;;) {
+    Frame frame;
+    while (!decoder.next(frame)) {
+      if (decoder.corrupt()) {
+        writer.send_string(FrameType::kError, "worker: " + decoder.error());
+        return finish(1);
+      }
+      const ssize_t n = ::read(in_fd, buf, sizeof buf);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return finish(1);
+      }
+      if (n == 0) return finish(0);  // coordinator closed the pipe: orderly exit
+      decoder.feed({buf, static_cast<std::size_t>(n)});
+    }
+
+    switch (frame.type) {
+      case FrameType::kConfig: {
+        SessionConfig cfg;
+        if (!decode_session(frame.payload, cfg)) {
+          writer.send_string(FrameType::kError, "worker: bad session config");
+          return finish(1);
+        }
+        Session s;
+        s.cfg = cfg;
+        ChaCha20Prng rng(cfg.victim_seed);
+        s.victim = falcon::keygen(cfg.logn, rng);
+        if (cfg.attack.threads > 1) {
+          s.pool = std::make_unique<exec::ThreadPool>(cfg.attack.threads);
+        }
+        session.emplace(std::move(s));
+        heartbeat = std::make_unique<Heartbeat>(writer, cfg.heartbeat_interval_ms);
+        telemetry = std::make_unique<ForwardingSink>(writer);
+        obs::set_sink(telemetry.get());
+        break;
+      }
+      case FrameType::kTask: {
+        if (!session) {
+          writer.send_string(FrameType::kError, "worker: task before config");
+          return finish(1);
+        }
+        TaskSpec spec;
+        if (!decode_task(frame.payload, spec)) {
+          writer.send_string(FrameType::kError, "worker: bad task spec");
+          return finish(1);
+        }
+        const TaskResult res = spec.kind == TaskKind::kCapture
+                                   ? run_capture_task(*session, spec)
+                                   : run_attack_task(*session, spec, writer, *heartbeat);
+        std::vector<std::uint8_t> payload;
+        encode_result(payload, res);
+        writer.send(FrameType::kResult, payload);
+        break;
+      }
+      case FrameType::kShutdown:
+        return finish(0);
+      default:
+        // Unknown-but-well-framed types are skipped: a newer
+        // coordinator may speak frames this worker predates.
+        break;
+    }
+  }
+}
+
+}  // namespace fd::fleet

@@ -1,0 +1,34 @@
+#pragma once
+// Fleet worker: the subprocess side of fleet mode.
+//
+// `fd-attack --worker` calls run_worker with its inherited pipe fds and
+// never touches argv beyond that -- everything about the experiment
+// arrives as a kConfig frame, tasks as kTask frames, and the loop exits
+// on kShutdown (or EOF, when the coordinator died). The worker wraps
+// the existing single-process pipeline stages:
+//
+//   capture tasks  -> sca::run_campaign_to_archive with the exact
+//                     per-shard (seed, fault offset) the coordinator
+//                     computed from the shard plan, so shard files are
+//                     byte-identical to a single-process sharded run;
+//   attack tasks   -> attack::attack_components_gated over the task's
+//                     component ids in sub-batches of checkpoint_every,
+//                     persisting its own .fdckpt (at the task-stable
+//                     path from the spec) after every batch -- a
+//                     reassigned shard resumes from the dead worker's
+//                     checkpoint and completes bit-identically.
+//
+// Liveness is a dedicated heartbeat thread ticking kHeartbeat frames
+// every heartbeat_interval_ms; all pipe writes go through one mutex so
+// frames from the heartbeat thread, the telemetry-forwarding sink, and
+// the task loop never interleave mid-frame.
+
+namespace fd::fleet {
+
+// Runs the worker protocol loop reading frames from `in_fd` and writing
+// frames to `out_fd` (blocking I/O on both). Returns the process exit
+// code: 0 after a clean kShutdown or coordinator EOF, nonzero on a
+// corrupt stream or an unrecoverable local error.
+int run_worker(int in_fd, int out_fd);
+
+}  // namespace fd::fleet

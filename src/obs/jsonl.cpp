@@ -179,6 +179,72 @@ bool parse_value(Cursor& c, Value& out, int depth) {
 
 }  // namespace
 
+// --- StreamReader ----------------------------------------------------------
+
+void StreamReader::feed(std::string_view bytes) {
+  if (finished_ && !bytes.empty()) finished_ = false;
+  std::size_t start = 0;
+  while (start < bytes.size()) {
+    const std::size_t nl = bytes.find('\n', start);
+    if (nl == std::string_view::npos) {
+      buf_.append(bytes.substr(start));
+      return;
+    }
+    if (buf_.empty()) {
+      take_line(bytes.substr(start, nl - start));
+    } else {
+      buf_.append(bytes.substr(start, nl - start));
+      take_line(buf_);
+      buf_.clear();
+    }
+    start = nl + 1;
+  }
+}
+
+void StreamReader::take_line(std::string_view line) {
+  // Strip a trailing CR so CRLF streams parse like LF ones.
+  if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+  std::size_t ws = 0;
+  while (ws < line.size() && std::isspace(static_cast<unsigned char>(line[ws])) != 0) ++ws;
+  if (ws == line.size()) return;  // blank line
+  Object obj;
+  if (parse_object(line, obj)) {
+    ready_.push_back(std::move(obj));
+  } else {
+    ++malformed_;
+  }
+}
+
+bool StreamReader::next(Object& out) {
+  if (next_ >= ready_.size()) {
+    // Keep the FIFO from growing without bound on a long tail -- the
+    // follow mode feeds this for the lifetime of a campaign.
+    ready_.clear();
+    next_ = 0;
+    return false;
+  }
+  out = std::move(ready_[next_++]);
+  ++delivered_;
+  return true;
+}
+
+void StreamReader::finish() {
+  if (finished_) return;
+  finished_ = true;
+  if (buf_.empty()) return;
+  Object obj;
+  if (parse_object(buf_, obj)) {
+    ready_.push_back(std::move(obj));
+  } else {
+    // The classic SIGKILL signature: a final line cut mid-record.
+    // Remember it verbatim (a resumed follow can splice it back in
+    // front of the next feed) and keep it out of the malformed count.
+    truncated_ = true;
+    tail_ = buf_;
+  }
+  buf_.clear();
+}
+
 bool parse_object(std::string_view line, Object& out, std::string* err) {
   out.fields.clear();
   Cursor c{line, 0, err};

@@ -50,4 +50,53 @@ struct Object {
 // "%.17g". Keeps identical runs byte-identical.
 void append_number(std::string& out, double v);
 
+// Incremental tolerant reader over a *live* JSONL stream -- the fleet
+// telemetry file while workers are still appending to it, or the tail
+// a killed worker left behind. Differences from line-at-a-time
+// parse_object:
+//   - bytes arrive in arbitrary fragments (feed() may end mid-record);
+//     an incomplete final line is buffered, not parsed, until its '\n'
+//     arrives or finish() declares the stream over;
+//   - malformed complete lines (interleaved writes from a non-atomic
+//     multi-writer append, editor droppings, a mid-record cut that got
+//     a newline after it) are counted and skipped, never fatal;
+//   - blank lines are ignored.
+// finish() flushes the buffered tail: parseable -> delivered like any
+// line; unparseable non-empty -> recorded as the truncated tail (the
+// partial write of a SIGKILLed worker), distinct from the malformed
+// count so a report can say "stream cut mid-record" explicitly.
+class StreamReader {
+ public:
+  // Appends raw bytes (any framing: whole files, pipe reads, single
+  // characters) to the stream.
+  void feed(std::string_view bytes);
+
+  // Pops the next complete, well-formed object. Returns false when no
+  // complete line is pending (feed more or finish()).
+  [[nodiscard]] bool next(Object& out);
+
+  // Ends the stream: the buffered unterminated tail, if any, is
+  // promoted to a final line (readable via next()) or recorded as the
+  // truncated tail. Idempotent; feed() after finish() starts fresh
+  // data but keeps the counters.
+  void finish();
+
+  [[nodiscard]] std::size_t lines_delivered() const { return delivered_; }
+  [[nodiscard]] std::size_t malformed_lines() const { return malformed_; }
+  [[nodiscard]] bool had_truncated_tail() const { return truncated_; }
+  [[nodiscard]] const std::string& truncated_tail() const { return tail_; }
+
+ private:
+  void take_line(std::string_view line);
+
+  std::string buf_;               // unterminated tail of the last feed
+  std::vector<Object> ready_;     // parsed, not yet popped (FIFO)
+  std::size_t next_ = 0;          // pop index into ready_
+  std::size_t delivered_ = 0;
+  std::size_t malformed_ = 0;
+  bool truncated_ = false;
+  std::string tail_;
+  bool finished_ = false;
+};
+
 }  // namespace fd::obs::jsonl

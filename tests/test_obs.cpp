@@ -127,6 +127,95 @@ TEST(ObsJsonl, ParserRejectsNestedObjects) {
   EXPECT_FALSE(obs::jsonl::parse_object("not json", obj));
 }
 
+// ---- StreamReader: tolerant incremental reads over live streams ----------
+
+TEST(ObsJsonl, StreamReaderRecordsMidRecordCutAsTruncatedTail) {
+  // The stream a SIGKILLed worker leaves behind: complete lines, then a
+  // record cut mid-write with no trailing newline.
+  obs::jsonl::StreamReader reader;
+  reader.feed("{\"ev\":\"a\",\"n\":1}\n{\"ev\":\"b\",\"n\":2}\n{\"ev\":\"c\",\"n\"");
+
+  obs::jsonl::Object obj;
+  ASSERT_TRUE(reader.next(obj));
+  EXPECT_EQ(obj.str("ev"), "a");
+  ASSERT_TRUE(reader.next(obj));
+  EXPECT_EQ(obj.str("ev"), "b");
+  // The cut record is buffered, not delivered: more bytes could arrive.
+  EXPECT_FALSE(reader.next(obj));
+
+  reader.finish();
+  EXPECT_FALSE(reader.next(obj));  // unparseable tail is never delivered
+  EXPECT_EQ(reader.lines_delivered(), 2u);
+  EXPECT_EQ(reader.malformed_lines(), 0u);  // a cut is not "malformed"
+  EXPECT_TRUE(reader.had_truncated_tail());
+  EXPECT_EQ(reader.truncated_tail(), "{\"ev\":\"c\",\"n\"");
+}
+
+TEST(ObsJsonl, StreamReaderPromotesParseableUnterminatedTail) {
+  // A writer that died between write() and the newline: the final line
+  // is complete JSON, just unterminated. finish() promotes it.
+  obs::jsonl::StreamReader reader;
+  reader.feed("{\"ev\":\"a\"}\n{\"ev\":\"b\",\"n\":2}");
+  obs::jsonl::Object obj;
+  ASSERT_TRUE(reader.next(obj));
+  EXPECT_FALSE(reader.next(obj));  // tail still pending
+  reader.finish();
+  ASSERT_TRUE(reader.next(obj));
+  EXPECT_EQ(obj.str("ev"), "b");
+  EXPECT_EQ(obj.num("n"), 2.0);
+  EXPECT_EQ(reader.lines_delivered(), 2u);
+  EXPECT_FALSE(reader.had_truncated_tail());
+}
+
+TEST(ObsJsonl, StreamReaderSkipsInterleavedGarbageLines) {
+  // Two writers appending without line atomicity interleave torn
+  // records; the good lines around them must still flow.
+  obs::jsonl::StreamReader reader;
+  reader.feed("{\"ev\":\"good1\"}\n");
+  reader.feed("{\"ev\":\"tor{\"ev\":\"n\"}\n");  // two writes fused mid-line
+  reader.feed("\n");                             // blank: ignored, not malformed
+  reader.feed("{\"ev\":\"good2\"}\n");
+  reader.finish();
+
+  std::vector<std::string> seen;
+  obs::jsonl::Object obj;
+  while (reader.next(obj)) seen.emplace_back(obj.str("ev"));
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "good1");
+  EXPECT_EQ(seen[1], "good2");
+  EXPECT_EQ(reader.lines_delivered(), 2u);
+  EXPECT_EQ(reader.malformed_lines(), 1u);
+  EXPECT_FALSE(reader.had_truncated_tail());
+}
+
+TEST(ObsJsonl, StreamReaderIsFramingIndependent) {
+  // Byte-at-a-time delivery (the worst pipe fragmentation) must match
+  // one whole-buffer feed exactly.
+  const std::string stream =
+      "{\"ev\":\"x\",\"n\":1}\njunk line\n{\"ev\":\"y\",\"n\":2}\n{\"ev\":\"z\"";
+
+  obs::jsonl::StreamReader whole;
+  whole.feed(stream);
+  whole.finish();
+
+  obs::jsonl::StreamReader bytewise;
+  for (const char c : stream) bytewise.feed(std::string_view(&c, 1));
+  bytewise.finish();
+
+  for (auto* r : {&whole, &bytewise}) {
+    obs::jsonl::Object obj;
+    ASSERT_TRUE(r->next(obj));
+    EXPECT_EQ(obj.str("ev"), "x");
+    ASSERT_TRUE(r->next(obj));
+    EXPECT_EQ(obj.str("ev"), "y");
+    EXPECT_FALSE(r->next(obj));
+    EXPECT_EQ(r->lines_delivered(), 2u);
+    EXPECT_EQ(r->malformed_lines(), 1u);
+    EXPECT_TRUE(r->had_truncated_tail());
+    EXPECT_EQ(r->truncated_tail(), "{\"ev\":\"z\"");
+  }
+}
+
 TEST(ObsSink, JsonLinesSinkWritesParseableLines) {
   TempFile tmp("jsonl_sink.jsonl");
   {

@@ -25,18 +25,35 @@
 // quality gate plus adaptive re-measurement, since a faulted capture is
 // what they exist for); --adaptive turns on confidence gating alone;
 // --checkpoint persists .fdckpt progress beside the archive and
-// --resume picks a killed run back up bit-identically.
+// --resume picks a killed run back up bit-identically. SIGTERM/SIGINT
+// stop the run at the next batch boundary after writing a final
+// checkpoint (exit 130); a second signal exits immediately.
+//
+// Fleet mode (DESIGN.md section 12): --fleet N shards the same
+// experiment across N `fd-attack --worker` subprocesses; the recovered
+// key is bit-identical to the single-process run at any N. --telemetry
+// writes the unified obs JSONL stream (worker lines tagged with
+// "worker":id) that `fd-report --follow` tails live. `--worker` is the
+// internal subprocess entry: the protocol runs on stdin/stdout and
+// nothing else may print there.
 
+#include <unistd.h>
+
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <string_view>
 
 #include "attack/recovery_pipeline.h"
 #include "common/rng.h"
 #include "falcon/falcon.h"
+#include "fleet/coordinator.h"
+#include "fleet/worker.h"
 #include "obs/jsonl.h"
+#include "obs/sink.h"
 
 using namespace fd;
 namespace jsonl = fd::obs::jsonl;
@@ -51,9 +68,29 @@ int usage() {
                "                         [--batch N] [--single-pass 0|1]\n"
                "                         [--fault-plan SPEC] [--adaptive] [--checkpoint]\n"
                "                         [--resume] [--checkpoint-every N]\n"
+               "                         [--fleet N] [--telemetry PATH]\n"
                "  SPEC: comma-separated key=value, e.g.\n"
                "        drop=0.1,desync=0.05,sat=0.02,glitch=0.01,chunk=0.02,fail=0.25\n");
   return 2;
+}
+
+// SIGTERM/SIGINT: first signal asks the pipeline to stop at the next
+// batch boundary (final checkpoint + pipeline.interrupted event); a
+// second signal means "now" and exits without cleanup.
+volatile std::sig_atomic_t g_interrupted = 0;
+
+extern "C" void handle_interrupt(int) {
+  if (g_interrupted != 0) _exit(130);
+  g_interrupted = 1;
+}
+
+// The coordinator re-execs this binary as its worker; /proc/self/exe is
+// exact even when argv[0] came from PATH lookup.
+std::string self_binary(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) return std::string(buf, static_cast<std::size_t>(n));
+  return argv0;
 }
 
 struct Options {
@@ -73,6 +110,8 @@ struct Options {
   bool checkpoint = false;
   bool resume = false;
   std::size_t checkpoint_every = 8;
+  std::size_t fleet = 0;  // 0 = single-process pipeline
+  std::string telemetry;
 };
 
 bool parse(int argc, char** argv, Options& opt) {
@@ -133,6 +172,15 @@ bool parse(int argc, char** argv, Options& opt) {
       const char* v = value();
       if (v == nullptr) return false;
       opt.checkpoint_every = std::strtoull(v, nullptr, 0);
+    } else if (arg == "--fleet") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.fleet = std::strtoull(v, nullptr, 0);
+      if (opt.fleet == 0) return false;
+    } else if (arg == "--telemetry") {
+      const char* v = value();
+      if (v == nullptr) return false;
+      opt.telemetry = v;
     } else {
       std::fprintf(stderr, "fd-attack: unknown option '%s'\n", std::string(arg).c_str());
       return false;
@@ -142,12 +190,87 @@ bool parse(int argc, char** argv, Options& opt) {
          opt.shards > 0 && opt.batch > 0;
 }
 
+// Fleet mode: same experiment, N worker subprocesses, same key.
+int run_fleet_main(const Options& opt, const attack::RecoveryPipelineConfig& cfg,
+                   const char* argv0) {
+  fleet::FleetConfig fc;
+  fc.pipeline = cfg;
+  fc.logn = opt.logn;
+  fc.workers = opt.fleet;
+  // Matching the shard size to the pipeline's checkpoint cadence keeps
+  // attack.archive.scans identical to a checkpointed single-process run.
+  fc.components_per_shard = opt.checkpoint_every;
+  fc.worker_binary = self_binary(argv0);
+  fc.telemetry_path = opt.telemetry;
+
+  if (!opt.json) {
+    std::printf("fd-attack: fleet of %zu worker%s, %zu traces, %zu thread%s per worker\n",
+                opt.fleet, opt.fleet == 1 ? "" : "s", opt.traces, opt.threads,
+                opt.threads == 1 ? "" : "s");
+  }
+  const auto res = fleet::run_fleet(fc);
+  if (!res.ok) {
+    std::fprintf(stderr, "fd-attack: %s\n", res.error.c_str());
+    return 2;
+  }
+  if (opt.json) {
+    std::string buf;
+    const auto field = [&](std::string_view key, const std::string& v) {
+      if (!buf.empty()) buf += ',';
+      buf += '"';
+      buf += jsonl::escape(key);
+      buf += "\":";
+      buf += v;
+    };
+    field("workers", std::to_string(opt.fleet));
+    field("records", std::to_string(res.captured_records));
+    field("components_correct", std::to_string(res.recovery.components_correct));
+    field("components_total", std::to_string(res.recovery.components_total));
+    field("f_exact", res.recovery.f_exact ? "true" : "false");
+    field("workers_spawned", std::to_string(res.workers_spawned));
+    field("worker_deaths", std::to_string(res.worker_deaths));
+    field("reassignments", std::to_string(res.reassignments));
+    field("attack_shards", std::to_string(res.attack_shards));
+    field("remeasure_rounds", std::to_string(res.remeasure_rounds));
+    field("partial", res.partial ? "true" : "false");
+    field("forgery_verified", res.recovery.forgery_verified ? "true" : "false");
+    std::printf("{%s}\n", buf.c_str());
+  } else {
+    for (const auto& stage : res.stages) {
+      std::printf("  stage %-9s %s (%.1f ms)\n", stage.name.c_str(),
+                  stage.ran ? "done" : "skipped", stage.wall_ms);
+    }
+    std::printf("captured records: %zu\n", res.captured_records);
+    std::printf("fleet: %zu spawned, %zu died, %zu reassignment%s, %zu attack shard%s\n",
+                res.workers_spawned, res.worker_deaths, res.reassignments,
+                res.reassignments == 1 ? "" : "s", res.attack_shards,
+                res.attack_shards == 1 ? "" : "s");
+    if (res.partial) {
+      std::printf("PARTIAL: %zu component%s flagged\n", res.flagged_components.size(),
+                  res.flagged_components.size() == 1 ? "" : "s");
+    }
+    std::printf("components recovered exactly: %zu / %zu\n", res.recovery.components_correct,
+                res.recovery.components_total);
+    std::printf("f recovered exactly: %s\n", res.recovery.f_exact ? "YES" : "no");
+    std::printf("forged signature verified by victim's PUBLIC key: %s\n",
+                res.recovery.forgery_verified ? "YES -- key fully compromised" : "no");
+  }
+  return res.recovery.forgery_verified ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  if (argc >= 2 && std::string_view(argv[1]) == "--worker") {
+    // Subprocess entry: the frame protocol owns stdin/stdout.
+    return fleet::run_worker(STDIN_FILENO, STDOUT_FILENO);
+  }
   if (argc < 2 || std::string_view(argv[1]) != "recover") return usage();
   Options opt;
   if (!parse(argc, argv, opt)) return usage();
+
+  std::signal(SIGINT, handle_interrupt);
+  std::signal(SIGTERM, handle_interrupt);
 
   ChaCha20Prng rng("victim key seed");
   const auto victim = falcon::keygen(opt.logn, rng);
@@ -177,6 +300,17 @@ int main(int argc, char** argv) {
   cfg.checkpoint = opt.checkpoint;
   cfg.resume = opt.resume;
   cfg.checkpoint_every = opt.checkpoint_every;
+  cfg.interrupt_flag = &g_interrupted;
+
+  if (opt.fleet > 0) return run_fleet_main(opt, cfg, argv[0]);
+
+  // Single-process telemetry: same JSONL stream the fleet coordinator
+  // writes, so fd-report works identically against either mode.
+  std::unique_ptr<obs::JsonLinesSink> telemetry_sink;
+  if (!opt.telemetry.empty()) {
+    telemetry_sink = std::make_unique<obs::JsonLinesSink>(opt.telemetry);
+    obs::set_sink(telemetry_sink.get());
+  }
 
   if (!opt.json) {
     std::printf("fd-attack: FALCON-%zu victim, %zu traces, %zu shard%s, %zu thread%s\n",
@@ -184,6 +318,13 @@ int main(int argc, char** argv) {
                 opt.threads, opt.threads == 1 ? "" : "s");
   }
   const auto res = attack::run_recovery_pipeline(victim, cfg);
+  if (res.interrupted) {
+    // The final checkpoint is already on disk (atomic write-then-rename
+    // happens before pipeline.interrupted is emitted).
+    std::fprintf(stderr, "fd-attack: interrupted -- progress saved to %s; rerun with --resume\n",
+                 res.checkpoint_path.c_str());
+    return 130;
+  }
   if (!res.ok) {
     std::fprintf(stderr, "fd-attack: %s\n", res.error.c_str());
     for (const auto& stage : res.stages) {

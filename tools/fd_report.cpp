@@ -3,6 +3,16 @@
 //
 //   fd-report <telemetry.jsonl>            per-label summary tables
 //   fd-report <telemetry.jsonl> --label L  full convergence curve of one label
+//   fd-report <telemetry.jsonl> --follow   tail a live run (fleet telemetry)
+//
+// --follow tails the file like `tail -f`, feeding whatever bytes are
+// there through obs::jsonl::StreamReader -- which tolerates a
+// mid-record final line (a writer caught between write() calls) -- and
+// renders each cpa.snapshot / fleet.* event as it lands, so a running
+// `fd-attack --fleet N --telemetry F` shows per-component convergence
+// and worker lifecycle live. --poll-ms sets the poll cadence;
+// --exit-after-idle-ms N exits once the file has been quiet that long
+// (0 = follow forever), then prints the usual summary tables.
 //
 // The headline table is the per-coefficient trace-count-vs-rank view of
 // the "cpa.snapshot" stream: for every component label it shows the
@@ -13,12 +23,14 @@
 // Links only the always-compiled obs core (jsonl parser), so it reads
 // telemetry from instrumented builds even when built with FD_OBS=OFF.
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <vector>
 
 #include "obs/jsonl.h"
@@ -80,11 +92,24 @@ class LabelSeries {
   std::map<std::string, std::size_t> index_;
 };
 
+// Coordinator-side fleet.* lines (worker lifecycle, task scheduling).
+struct FleetStats {
+  std::size_t workers_spawned = 0;
+  std::size_t worker_deaths = 0;
+  std::size_t reassignments = 0;
+  std::size_t tasks_assigned = 0;
+  std::size_t tasks_done = 0;
+  std::size_t tasks_failed = 0;
+  std::size_t remeasure_rounds = 0;
+  bool seen = false;
+};
+
 struct Report {
   LabelSeries<Snapshot> snapshots;
   LabelSeries<Phase> phases;
   std::vector<Campaign> campaigns;
   std::vector<std::pair<std::string, SpanStats>> spans;  // first-seen order
+  FleetStats fleet;
   std::size_t events = 0;
   std::size_t parse_errors = 0;
 };
@@ -100,17 +125,7 @@ void add_span(Report& rep, std::string_view name, double wall_us) {
   rep.spans.emplace_back(name, SpanStats{1, wall_us});
 }
 
-void ingest_line(Report& rep, std::string_view line) {
-  // Skip blank lines quietly; count malformed ones.
-  std::size_t ws = 0;
-  while (ws < line.size() && (line[ws] == ' ' || line[ws] == '\t' || line[ws] == '\r')) ++ws;
-  if (ws == line.size()) return;
-
-  jsonl::Object obj;
-  if (!jsonl::parse_object(line, obj)) {
-    ++rep.parse_errors;
-    return;
-  }
+void ingest_object(Report& rep, const jsonl::Object& obj) {
   ++rep.events;
   const std::string_view ev = obj.str("ev");
   if (ev == "cpa.snapshot") {
@@ -140,7 +155,30 @@ void ingest_line(Report& rep, std::string_view line) {
     rep.campaigns.push_back(c);
   } else if (ev == "span") {
     add_span(rep, obj.str("name"), obj.num("wall_us"));
+  } else if (ev.substr(0, 6) == "fleet.") {
+    rep.fleet.seen = true;
+    if (ev == "fleet.worker.spawn") ++rep.fleet.workers_spawned;
+    if (ev == "fleet.worker.dead") ++rep.fleet.worker_deaths;
+    if (ev == "fleet.task.reassign") ++rep.fleet.reassignments;
+    if (ev == "fleet.task.assign") ++rep.fleet.tasks_assigned;
+    if (ev == "fleet.task.done") ++rep.fleet.tasks_done;
+    if (ev == "fleet.task.failed") ++rep.fleet.tasks_failed;
+    if (ev == "fleet.remeasure.round") ++rep.fleet.remeasure_rounds;
   }
+}
+
+void ingest_line(Report& rep, std::string_view line) {
+  // Skip blank lines quietly; count malformed ones.
+  std::size_t ws = 0;
+  while (ws < line.size() && (line[ws] == ' ' || line[ws] == '\t' || line[ws] == '\r')) ++ws;
+  if (ws == line.size()) return;
+
+  jsonl::Object obj;
+  if (!jsonl::parse_object(line, obj)) {
+    ++rep.parse_errors;
+    return;
+  }
+  ingest_object(rep, obj);
 }
 
 // Smallest trace count from which the truth holds rank 0 through the
@@ -158,6 +196,19 @@ long disclosed_at(const std::vector<Snapshot>& snaps) {
 }
 
 void print_summary(const Report& rep) {
+  if (rep.fleet.seen) {
+    std::printf("== fleet ==\n");
+    std::printf("  workers: %zu spawned, %zu died\n", rep.fleet.workers_spawned,
+                rep.fleet.worker_deaths);
+    std::printf("  tasks: %zu assigned, %zu done, %zu failed, %zu reassignment%s\n",
+                rep.fleet.tasks_assigned, rep.fleet.tasks_done, rep.fleet.tasks_failed,
+                rep.fleet.reassignments, rep.fleet.reassignments == 1 ? "" : "s");
+    if (rep.fleet.remeasure_rounds > 0) {
+      std::printf("  re-measurement rounds: %zu\n", rep.fleet.remeasure_rounds);
+    }
+    std::printf("\n");
+  }
+
   if (!rep.campaigns.empty()) {
     std::printf("== campaigns ==\n");
     for (const auto& c : rep.campaigns) {
@@ -242,10 +293,117 @@ int print_curve(const Report& rep, const std::string& label) {
   return 0;
 }
 
+// One line per live event: convergence for cpa.snapshot, lifecycle for
+// fleet.*. Everything else accumulates silently into the report.
+void render_live(const jsonl::Object& obj) {
+  const std::string_view ev = obj.str("ev");
+  const long worker = static_cast<long>(obj.num("worker", -1.0));
+  char wtag[24] = "";
+  if (worker >= 0) std::snprintf(wtag, sizeof(wtag), " [w%ld]", worker);
+
+  if (ev == "cpa.snapshot") {
+    const long rank = static_cast<long>(obj.num("truth_rank", -1.0));
+    char rank_buf[24];
+    if (rank < 0) {
+      std::snprintf(rank_buf, sizeof(rank_buf), "%s", "-");
+    } else {
+      std::snprintf(rank_buf, sizeof(rank_buf), "%ld", rank);
+    }
+    std::printf("%-14s traces=%-7zu top1=%-8llu margin=%8.5f rank=%s%s\n",
+                std::string(obj.str("label")).c_str(),
+                static_cast<std::size_t>(obj.num("traces")),
+                static_cast<unsigned long long>(obj.num("top1_guess")), obj.num("margin"),
+                rank_buf, wtag);
+  } else if (ev == "ep.phase") {
+    std::printf("%-14s phase=%-12s candidates=%-5zu kept=%-5zu score=%8.5f%s\n",
+                std::string(obj.str("label")).c_str(), std::string(obj.str("phase")).c_str(),
+                static_cast<std::size_t>(obj.num("candidates_in")),
+                static_cast<std::size_t>(obj.num("kept")), obj.num("score"), wtag);
+  } else if (ev == "fleet.worker.spawn") {
+    std::printf("fleet: worker %ld up (pid %llu)\n", static_cast<long>(obj.num("worker")),
+                static_cast<unsigned long long>(obj.num("pid")));
+  } else if (ev == "fleet.worker.dead") {
+    std::printf("fleet: worker %ld DOWN (%s)\n", static_cast<long>(obj.num("worker")),
+                std::string(obj.str("detail")).c_str());
+  } else if (ev == "fleet.task.assign") {
+    std::printf("fleet: task %llu -> worker %ld (attempt %llu, %llu components)\n",
+                static_cast<unsigned long long>(obj.num("task")),
+                static_cast<long>(obj.num("worker")),
+                static_cast<unsigned long long>(obj.num("attempt")),
+                static_cast<unsigned long long>(obj.num("components")));
+  } else if (ev == "fleet.task.done") {
+    std::printf("fleet: task %llu done%s\n", static_cast<unsigned long long>(obj.num("task")),
+                wtag);
+  } else if (ev == "fleet.task.reassign") {
+    std::printf("fleet: task %llu REASSIGNED (attempt %llu)\n",
+                static_cast<unsigned long long>(obj.num("task")),
+                static_cast<unsigned long long>(obj.num("attempt")));
+  } else if (ev == "fleet.progress") {
+    std::printf("fleet: task %llu %llu/%llu components%s\n",
+                static_cast<unsigned long long>(obj.num("task")),
+                static_cast<unsigned long long>(obj.num("completed")),
+                static_cast<unsigned long long>(obj.num("total")), wtag);
+  } else if (ev == "fleet.remeasure.round") {
+    std::printf("fleet: re-measurement round %llu (%llu components low-confidence)\n",
+                static_cast<unsigned long long>(obj.num("round")),
+                static_cast<unsigned long long>(obj.num("low_confidence")));
+  } else if (ev == "fleet.done") {
+    std::printf("fleet: run finished (ok=%s)\n", obj.num("ok") != 0.0 ? "yes" : "NO");
+  }
+}
+
+int follow(const std::string& path, std::size_t poll_ms, std::size_t idle_exit_ms) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "fd-report: cannot open %s\n", path.c_str());
+    return 2;
+  }
+  Report rep;
+  jsonl::StreamReader reader;
+  jsonl::Object obj;
+  std::size_t idle_ms = 0;
+  char buf[1 << 16];
+  for (;;) {
+    const std::size_t n = std::fread(buf, 1, sizeof buf, f);
+    if (n > 0) {
+      idle_ms = 0;
+      reader.feed({buf, n});
+      while (reader.next(obj)) {
+        ingest_object(rep, obj);
+        render_live(obj);
+      }
+      std::fflush(stdout);
+      continue;
+    }
+    // At EOF for now; the writer may still be appending.
+    std::clearerr(f);
+    if (idle_exit_ms > 0 && idle_ms >= idle_exit_ms) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(poll_ms));
+    idle_ms += poll_ms;
+  }
+  std::fclose(f);
+  // Promote a parseable unterminated tail (writer died mid-flush).
+  reader.finish();
+  while (reader.next(obj)) {
+    ingest_object(rep, obj);
+    render_live(obj);
+  }
+  rep.parse_errors += reader.malformed_lines();
+
+  std::printf("\nfd-report: %s -- %zu events", path.c_str(), rep.events);
+  if (rep.parse_errors > 0) std::printf(", %zu malformed lines", rep.parse_errors);
+  if (reader.had_truncated_tail()) std::printf(", truncated tail");
+  std::printf("\n\n");
+  print_summary(rep);
+  return 0;
+}
+
 int usage() {
   std::fprintf(stderr,
                "usage: fd-report <telemetry.jsonl>\n"
-               "       fd-report <telemetry.jsonl> --label <label>\n");
+               "       fd-report <telemetry.jsonl> --label <label>\n"
+               "       fd-report <telemetry.jsonl> --follow [--poll-ms N]\n"
+               "                                   [--exit-after-idle-ms N]\n");
   return 2;
 }
 
@@ -254,11 +412,23 @@ int usage() {
 int main(int argc, char** argv) {
   std::string path;
   std::string label;
+  bool follow_mode = false;
+  std::size_t poll_ms = 50;
+  std::size_t idle_exit_ms = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
     if (arg == "--label") {
       if (i + 1 >= argc) return usage();
       label = argv[++i];
+    } else if (arg == "--follow") {
+      follow_mode = true;
+    } else if (arg == "--poll-ms") {
+      if (i + 1 >= argc) return usage();
+      poll_ms = std::strtoull(argv[++i], nullptr, 0);
+      if (poll_ms == 0) poll_ms = 1;
+    } else if (arg == "--exit-after-idle-ms") {
+      if (i + 1 >= argc) return usage();
+      idle_exit_ms = std::strtoull(argv[++i], nullptr, 0);
     } else if (path.empty()) {
       path = arg;
     } else {
@@ -266,6 +436,7 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) return usage();
+  if (follow_mode) return follow(path, poll_ms, idle_exit_ms);
 
   std::FILE* f = std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
