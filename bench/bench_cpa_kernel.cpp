@@ -27,6 +27,7 @@
 #include "bench_harness.h"
 #include "common/rng.h"
 #include "falcon/falcon.h"
+#include "obs/profile.h"
 #include "sca/campaign.h"
 #include "tracestore/archive.h"
 
@@ -96,6 +97,11 @@ attack::StreamingCpaSpec exponent_spec(std::size_t slot, bool imag) {
 
 int main(int argc, char** argv) {
   bench::Harness harness("cpa_kernel", argc, argv);
+  // Run with the profiling thread live: the EXPERIMENTS.md tracing
+  // overhead budget (<5% vs FD_OBS=OFF) is measured sampler-on, so the
+  // numbers here include the cost a profiled campaign actually pays.
+  // No-op struct under FD_OBS=OFF.
+  const obs::ResourceSampler sampler;
   const std::size_t fold_traces =
       argc > 1 ? static_cast<std::size_t>(std::atoll(argv[1])) : 20000;
 

@@ -93,7 +93,6 @@ std::size_t count_archive_records(const std::string& path) {
 
 RecoveryPipelineResult run_recovery_pipeline(const falcon::KeyPair& victim,
                                              const RecoveryPipelineConfig& config) {
-  obs::Span span("attack.pipeline");
   RecoveryPipelineResult out;
   if (config.archive_path.empty()) {
     out.error = "recovery pipeline needs an archive_path";
@@ -104,6 +103,11 @@ RecoveryPipelineResult run_recovery_pipeline(const falcon::KeyPair& victim,
   const KeyRecoveryConfig& atk = config.attack;
   const sca::FaultPlan fplan(config.faults);
   const std::uint64_t experiment = hash_experiment(victim, config);
+  // Root the trace in the experiment hash ("TRAC" salt, matching the
+  // fleet coordinator's derivation) so the single-process pipeline
+  // produces the same replay-stable span ids on every run.
+  obs::set_trace_root(exec::mix64(experiment ^ 0x54524143ULL));
+  obs::Span span("attack.pipeline", obs::Span::Root::kAdopt);
   const bool checkpointing = config.checkpoint || config.resume;
   if (checkpointing) out.checkpoint_path = config.archive_path + ".fdckpt";
 

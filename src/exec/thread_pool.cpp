@@ -1,6 +1,9 @@
 #include "exec/thread_pool.h"
 
 #include <algorithm>
+#include <string>
+
+#include "obs/profile.h"
 
 namespace fd::exec {
 
@@ -15,7 +18,7 @@ ThreadPool::ThreadPool(std::size_t num_workers, std::size_t queue_capacity) {
   capacity_ = queue_capacity == 0 ? 4 * n : queue_capacity;
   workers_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -54,8 +57,11 @@ std::size_t ThreadPool::hardware_workers() {
   return std::max(1U, std::thread::hardware_concurrency());
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t index) {
   t_on_worker = true;
+  // Named per slot so pool threads show up as stable tracks in an
+  // exported trace (obs/trace_export.h); no-op without a sink.
+  obs::set_thread_name("fd-pool-" + std::to_string(index));
   for (;;) {
     std::function<void()> task;
     {

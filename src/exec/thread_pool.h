@@ -58,7 +58,7 @@ class ThreadPool {
   [[nodiscard]] static std::size_t hardware_workers();
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t index);
 
   mutable std::mutex mu_;
   std::condition_variable cv_work_;   // queue became non-empty / stopping

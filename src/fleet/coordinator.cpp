@@ -12,6 +12,7 @@
 #include <cstdio>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <utility>
@@ -25,6 +26,9 @@
 #include "fleet/protocol.h"
 #include "obs/event.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
+#include "obs/sink.h"
+#include "obs/span.h"
 #include "sca/campaign.h"
 #include "tracestore/archive.h"
 
@@ -44,6 +48,14 @@ std::uint64_t hash_session(const SessionConfig& cfg) {
   std::uint64_t h = 0xcbf29ce484222325ULL;
   for (const std::uint8_t b : bytes) h = (h ^ b) * 0x100000001b3ULL;
   return exec::mix64(h);
+}
+
+// Domain separation between the session hash (checkpoint binding) and
+// the trace id derived from it ("TRAC" in ASCII).
+constexpr std::uint64_t kTraceSalt = 0x54524143;
+
+double steady_us() {
+  return std::chrono::duration<double, std::micro>(Clock::now().time_since_epoch()).count();
 }
 
 struct Task {
@@ -73,6 +85,8 @@ class Coordinator {
       : cfg_(config), out_(out), fplan_(config.pipeline.faults) {}
 
   ~Coordinator() {
+    sampler_.reset();  // its thread records through the sink below
+    if (sink_installed_) obs::set_sink(prev_sink_);
     shutdown_workers();
     if (telem_ != nullptr) std::fclose(telem_);
   }
@@ -90,7 +104,14 @@ class Coordinator {
     session_.single_pass = cfg_.pipeline.single_pass;
     session_.checkpoint_every = cfg_.pipeline.checkpoint_every;
     session_.heartbeat_interval_ms = cfg_.heartbeat_interval_ms;
+    session_.profile_interval_ms =
+        cfg_.telemetry_path.empty() ? 0 : cfg_.profile_interval_ms;
+    // trace_id is still 0 while hashing, then derived from the hash:
+    // the same experiment always produces the same trace tree, and the
+    // checkpoint binding is independent of the trace identity.
     session_.session_hash = hash_session(session_);
+    session_.trace_id = exec::mix64(session_.session_hash ^ kTraceSalt);
+    obs::set_trace_root(session_.trace_id);
 
     results_.assign(n_, attack::ComponentResult{});
     accepted_.assign(n_, 0);
@@ -100,6 +121,17 @@ class Coordinator {
       if (telem_ == nullptr) {
         out_.error = "fleet: cannot open telemetry file " + cfg_.telemetry_path;
         return false;
+      }
+      // Route the coordinator's own obs events (stage spans, thread
+      // names, resource samples) into the unified stream, tagged
+      // "coord" so no row is untagged.
+      coord_sink_ = std::make_unique<CoordSink>(*this);
+      prev_sink_ = obs::sink();
+      obs::set_sink(coord_sink_.get());
+      sink_installed_ = true;
+      obs::set_thread_name("fd-coord");
+      if (session_.profile_interval_ms > 0) {
+        sampler_ = std::make_unique<obs::ResourceSampler>(session_.profile_interval_ms);
       }
     }
     if (cfg_.worker_binary.empty()) {
@@ -159,6 +191,9 @@ class Coordinator {
         spec.capture_seed = exec::split_seed(round_seed, i);
         spec.fault_query_offset = query_offset + plan[i].begin;
         spec.out_path = shard_paths[i];
+        // The enclosing exec.job.capture span: the worker re-parents
+        // its task span under it (DESIGN.md section 13).
+        spec.parent_span = obs::Span::current_context().span_id;
       }
       run_tasks(tasks);
       std::uint64_t records = 0;
@@ -214,6 +249,7 @@ class Coordinator {
       TaskSpec& spec = t.spec;
       spec.task_id = next_task_id_++;
       spec.kind = TaskKind::kAttack;
+      spec.parent_span = obs::Span::current_context().span_id;
       spec.archive_path = cfg_.pipeline.archive_path;
       spec.checkpoint_path = cfg_.pipeline.archive_path + ".task" +
                              std::to_string(spec.task_id) + ".fdckpt";
@@ -687,6 +723,9 @@ class Coordinator {
 
   void write_line(std::string_view line) {
     if (telem_ == nullptr || line.empty()) return;
+    // The resource-sampler thread records through CoordSink while the
+    // poll loop writes worker lines; one lock keeps lines whole.
+    const std::lock_guard<std::mutex> lock(telem_mu_);
     std::fwrite(line.data(), 1, line.size(), telem_);
     std::fputc('\n', telem_);
     std::fflush(telem_);  // per-line flush: --follow tails a live run
@@ -713,10 +752,35 @@ class Coordinator {
     if (telem_ == nullptr) return;
     obs::Event ev;
     ev.name = std::string(name);
+    ev.add("ts_us", obs::FieldValue::of(steady_us()));
     for (const auto& [key, value] : fields) ev.add(key, obs::FieldValue::of(value));
     if (!detail.empty()) ev.add("detail", obs::FieldValue::of(std::string_view(detail)));
-    write_line(obs::to_jsonl(ev));
+    write_coord_event(ev);
   }
+
+  // Tags an event "worker":"coord" (unless it already carries a numeric
+  // "worker" subject field, e.g. fleet.worker.spawn) and writes it, so
+  // the unified stream has no untagged rows.
+  void write_coord_event(const obs::Event& ev) {
+    if (ev.find("worker") != nullptr) {
+      write_line(obs::to_jsonl(ev));
+      return;
+    }
+    obs::Event tagged = ev;
+    tagged.add("worker", obs::FieldValue::of(std::string_view("coord")));
+    write_line(obs::to_jsonl(tagged));
+  }
+
+  // Sink for the coordinator's own obs events (JobGraph stage spans,
+  // resource samples, thread names): straight into the unified file.
+  class CoordSink final : public obs::TelemetrySink {
+   public:
+    explicit CoordSink(Coordinator& coord) : coord_(coord) {}
+    void record(const obs::Event& ev) override { coord_.write_coord_event(ev); }
+
+   private:
+    Coordinator& coord_;
+  };
 
   const FleetConfig& cfg_;
   FleetResult& out_;
@@ -736,6 +800,11 @@ class Coordinator {
   std::vector<std::string> checkpoint_paths_;
   attack::RowAssembly assembled_;
 
+  std::unique_ptr<CoordSink> coord_sink_;
+  obs::TelemetrySink* prev_sink_ = nullptr;
+  bool sink_installed_ = false;
+  std::unique_ptr<obs::ResourceSampler> sampler_;
+  std::mutex telem_mu_;
   std::FILE* telem_ = nullptr;
 };
 
@@ -758,16 +827,23 @@ FleetResult run_fleet(const FleetConfig& config) {
   Coordinator coord(config, out);
   if (!coord.init()) return out;
 
-  exec::JobGraph graph;
-  const auto spawn = graph.add("spawn", [&] { coord.stage_spawn(); });
-  const auto capture = graph.add("capture", [&] { coord.stage_capture(); }, {spawn});
-  const auto attack = graph.add("attack", [&] { coord.stage_attack(); }, {capture});
-  const auto remeasure = graph.add("remeasure", [&] { coord.stage_remeasure(); }, {attack});
-  const auto assemble = graph.add("assemble", [&] { coord.stage_assemble(); }, {remeasure});
-  graph.add("forge", [&] { coord.stage_forge(); }, {assemble});
+  {
+    // The campaign root: stage spans (exec.job.*) nest under it via the
+    // thread-local span stack, and its ids adopt the ambient context
+    // installed by init()'s set_trace_root, so every process in the run
+    // shares one trace_id.
+    obs::Span root("fleet.pipeline", obs::Span::Root::kAdopt);
+    exec::JobGraph graph;
+    const auto spawn = graph.add("spawn", [&] { coord.stage_spawn(); });
+    const auto capture = graph.add("capture", [&] { coord.stage_capture(); }, {spawn});
+    const auto attack = graph.add("attack", [&] { coord.stage_attack(); }, {capture});
+    const auto remeasure = graph.add("remeasure", [&] { coord.stage_remeasure(); }, {attack});
+    const auto assemble = graph.add("assemble", [&] { coord.stage_assemble(); }, {remeasure});
+    graph.add("forge", [&] { coord.stage_forge(); }, {assemble});
 
-  out.stages = graph.run_collect(nullptr, &out.error);
-  out.ok = out.error.empty();
+    out.stages = graph.run_collect(nullptr, &out.error);
+    out.ok = out.error.empty();
+  }
   coord.cleanup(out.ok);
   obs::MetricsRegistry::global().counter("fleet.runs").add(1);
   return out;

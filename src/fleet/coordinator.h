@@ -66,6 +66,9 @@ struct FleetConfig {
   std::size_t components_per_shard = 8;  // attack task granularity
   std::string worker_binary;           // fd-attack path (execs "--worker")
   std::string telemetry_path;          // unified JSONL; empty = no file
+  // Resource-sampler cadence for coordinator AND workers; only active
+  // while telemetry_path is set. 0 disables sampling.
+  std::size_t profile_interval_ms = 25;
 
   std::size_t heartbeat_interval_ms = 25;
   std::size_t heartbeat_timeout_ms = 5000;

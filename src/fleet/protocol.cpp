@@ -176,6 +176,8 @@ void encode_session(std::vector<std::uint8_t>& out, const SessionConfig& cfg) {
   put_u64(out, cfg.checkpoint_every);
   put_u64(out, cfg.session_hash);
   put_u64(out, cfg.heartbeat_interval_ms);
+  put_u64(out, cfg.trace_id);
+  put_u64(out, cfg.profile_interval_ms);
 }
 
 bool decode_session(std::span<const std::uint8_t> bytes, SessionConfig& out) {
@@ -218,6 +220,8 @@ bool decode_session(std::span<const std::uint8_t> bytes, SessionConfig& out) {
   out.checkpoint_every = static_cast<std::size_t>(c.u64());
   out.session_hash = c.u64();
   out.heartbeat_interval_ms = static_cast<std::size_t>(c.u64());
+  out.trace_id = c.u64();
+  out.profile_interval_ms = static_cast<std::size_t>(c.u64());
   return c.done() && out.logn >= 1 && out.logn <= 10;
 }
 
@@ -236,6 +240,7 @@ void encode_task(std::vector<std::uint8_t>& out, const TaskSpec& spec) {
   for (const std::uint32_t comp : spec.components) put_u32(out, comp);
   put_u32(out, spec.kill_after);
   put_u32(out, spec.hang_ms);
+  put_u64(out, spec.parent_span);
 }
 
 bool decode_task(std::span<const std::uint8_t> bytes, TaskSpec& out) {
@@ -257,6 +262,7 @@ bool decode_task(std::span<const std::uint8_t> bytes, TaskSpec& out) {
   for (std::uint32_t i = 0; i < n; ++i) out.components.push_back(c.u32());
   out.kill_after = c.u32();
   out.hang_ms = c.u32();
+  out.parent_span = c.u64();
   return c.done();
 }
 
@@ -283,6 +289,7 @@ void encode_result(std::vector<std::uint8_t>& out, const TaskResult& res) {
   put_u64(out, q.rejected_alignment);
   put_u64(out, q.realigned);
   put_u64(out, res.archive_scans);
+  put_u64(out, res.span);
 }
 
 bool decode_result(std::span<const std::uint8_t> bytes, TaskResult& out) {
@@ -317,6 +324,7 @@ bool decode_result(std::span<const std::uint8_t> bytes, TaskResult& out) {
   q.rejected_alignment = static_cast<std::size_t>(c.u64());
   q.realigned = static_cast<std::size_t>(c.u64());
   out.archive_scans = c.u64();
+  out.span = c.u64();
   return c.done();
 }
 
@@ -338,6 +346,7 @@ void encode_progress(std::vector<std::uint8_t>& out, const Progress& p) {
   put_u32(out, p.task_id);
   put_u64(out, p.completed);
   put_u64(out, p.total);
+  put_u64(out, p.span);
 }
 
 bool decode_progress(std::span<const std::uint8_t> bytes, Progress& out) {
@@ -345,6 +354,7 @@ bool decode_progress(std::span<const std::uint8_t> bytes, Progress& out) {
   out.task_id = c.u32();
   out.completed = c.u64();
   out.total = c.u64();
+  out.span = c.u64();
   return c.done();
 }
 

@@ -56,7 +56,13 @@
 namespace fd::fleet {
 
 inline constexpr std::uint32_t kFrameMagic = 0x4C464446;  // "FDFL" little-endian
-inline constexpr std::uint16_t kProtocolVersion = 1;
+// v2: SessionConfig carries trace_id + profile_interval_ms, TaskSpec a
+// parent span context, Progress/TaskResult the worker task's span id --
+// the span-context propagation that stitches a whole fleet run into
+// one trace tree (DESIGN.md section 13). Frames have no compatibility
+// negotiation by design (coordinator and workers are the same binary);
+// a version mismatch latches the decoder corrupt.
+inline constexpr std::uint16_t kProtocolVersion = 2;
 inline constexpr std::size_t kFrameHeaderSize = 12;
 // Largest payload a peer will accept. Generous for real traffic (an
 // n = 1024 attack shard's results are ~100 KB) yet small enough that a
@@ -121,6 +127,11 @@ struct SessionConfig {
   std::size_t checkpoint_every = 8;      // worker sub-batch + persist cadence
   std::uint64_t session_hash = 0;        // binds worker checkpoints to the run
   std::size_t heartbeat_interval_ms = 50;
+  // Trace root every worker installs via obs::set_trace_root before
+  // its first span (derived from session_hash, never wall clock).
+  std::uint64_t trace_id = 0;
+  // Resource-sampler cadence; 0 = sampler off (telemetry disabled).
+  std::size_t profile_interval_ms = 0;
 };
 
 void encode_session(std::vector<std::uint8_t>& out, const SessionConfig& cfg);
@@ -159,6 +170,11 @@ struct TaskSpec {
   // heartbeats and sleep before starting (heartbeat-timeout path).
   std::uint32_t kill_after = 0;
   std::uint32_t hang_ms = 0;
+
+  // Span id of the coordinator's JobGraph stage span that created this
+  // task; the worker re-parents its task span under it so the campaign
+  // forms one cross-process tree.
+  std::uint64_t parent_span = 0;
 };
 
 void encode_task(std::vector<std::uint8_t>& out, const TaskSpec& spec);
@@ -189,6 +205,7 @@ struct TaskResult {
   std::vector<ComponentOutcome> outcomes;
   attack::QualityReport quality;
   std::uint64_t archive_scans = 0;  // attack.archive.scans delta
+  std::uint64_t span = 0;           // the worker-side task span's id
 };
 
 void encode_result(std::vector<std::uint8_t>& out, const TaskResult& res);
@@ -207,6 +224,7 @@ struct Progress {
   std::uint32_t task_id = 0;
   std::uint64_t completed = 0;  // components finished (incl. restored)
   std::uint64_t total = 0;
+  std::uint64_t span = 0;  // the worker-side task span's id
 };
 void encode_progress(std::vector<std::uint8_t>& out, const Progress& p);
 [[nodiscard]] bool decode_progress(std::span<const std::uint8_t> bytes, Progress& out);

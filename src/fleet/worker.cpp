@@ -20,7 +20,9 @@
 #include "falcon/falcon.h"
 #include "fleet/protocol.h"
 #include "obs/metrics.h"
+#include "obs/profile.h"
 #include "obs/sink.h"
+#include "obs/span.h"
 #include "sca/campaign.h"
 
 namespace fd::fleet {
@@ -93,6 +95,7 @@ class Heartbeat {
 
  private:
   void run() {
+    obs::set_thread_name("fd-heartbeat");
     while (!stop_.load(std::memory_order_relaxed)) {
       if (!mute_.load(std::memory_order_relaxed)) writer_.send(FrameType::kHeartbeat);
       // Sleep in short slices so destruction never waits a full interval.
@@ -120,9 +123,18 @@ struct Session {
 };
 
 TaskResult run_capture_task(const Session& s, const TaskSpec& spec) {
+  // Graft this task under the coordinator's JobGraph stage span: the
+  // propagated parent becomes the ambient context, the task span its
+  // child, and every span the campaign opens below nests inside.
+  const obs::ScopedSpanParent reparent(
+      obs::SpanContext{s.cfg.trace_id, spec.parent_span, 0},
+      static_cast<std::uint64_t>(spec.task_id) << 32);
+  obs::Span task_span("fleet.task.capture");
+  task_span.note("task", spec.task_id);
   TaskResult res;
   res.task_id = spec.task_id;
   res.kind = TaskKind::kCapture;
+  res.span = task_span.context().span_id;
   sca::CampaignConfig camp;
   camp.num_traces = static_cast<std::size_t>(spec.capture_traces);
   camp.device = s.cfg.attack.device;
@@ -147,9 +159,15 @@ TaskResult run_capture_task(const Session& s, const TaskSpec& spec) {
 
 TaskResult run_attack_task(const Session& s, const TaskSpec& spec, FrameWriter& writer,
                            Heartbeat& heartbeat) {
+  const obs::ScopedSpanParent reparent(
+      obs::SpanContext{s.cfg.trace_id, spec.parent_span, 0},
+      static_cast<std::uint64_t>(spec.task_id) << 32);
+  obs::Span task_span("fleet.task.attack");
+  task_span.note("task", spec.task_id);
   TaskResult res;
   res.task_id = spec.task_id;
   res.kind = TaskKind::kAttack;
+  res.span = task_span.context().span_id;
   if (spec.hang_ms > 0) {
     // Wedge simulation: stop announcing liveness and stall. The
     // coordinator's heartbeat timeout must fire and reassign the shard;
@@ -234,6 +252,7 @@ TaskResult run_attack_task(const Session& s, const TaskSpec& spec, FrameWriter& 
     p.task_id = spec.task_id;
     p.completed = done_before + completed_this_run;
     p.total = spec.components.size();
+    p.span = task_span.context().span_id;
     std::vector<std::uint8_t> payload;
     encode_progress(payload, p);
     writer.send(FrameType::kProgress, payload);
@@ -269,6 +288,7 @@ int run_worker(int in_fd, int out_fd) {
   std::optional<Session> session;
   std::unique_ptr<Heartbeat> heartbeat;
   std::unique_ptr<ForwardingSink> telemetry;
+  std::unique_ptr<obs::ResourceSampler> sampler;
 
   {
     Hello hello;
@@ -282,6 +302,7 @@ int run_worker(int in_fd, int out_fd) {
   // sink objects die with this scope, and a dangling global sink in a
   // still-winding-down process is a use-after-free waiting to happen.
   const auto finish = [&](int code) {
+    sampler.reset();  // stop sampling before the sink goes away
     obs::set_sink(nullptr);
     return code;
   };
@@ -310,6 +331,18 @@ int run_worker(int in_fd, int out_fd) {
           writer.send_string(FrameType::kError, "worker: bad session config");
           return finish(1);
         }
+        // Trace identity + telemetry come up BEFORE the session is
+        // built: pool threads announce their names through the sink as
+        // they start, and every span from here on carries the
+        // campaign's propagated trace id.
+        obs::set_trace_root(cfg.trace_id);
+        telemetry = std::make_unique<ForwardingSink>(writer);
+        obs::set_sink(telemetry.get());
+        obs::set_thread_name("fd-worker");
+        if (cfg.profile_interval_ms > 0) {
+          sampler = std::make_unique<obs::ResourceSampler>(cfg.profile_interval_ms);
+        }
+        heartbeat = std::make_unique<Heartbeat>(writer, cfg.heartbeat_interval_ms);
         Session s;
         s.cfg = cfg;
         ChaCha20Prng rng(cfg.victim_seed);
@@ -318,9 +351,6 @@ int run_worker(int in_fd, int out_fd) {
           s.pool = std::make_unique<exec::ThreadPool>(cfg.attack.threads);
         }
         session.emplace(std::move(s));
-        heartbeat = std::make_unique<Heartbeat>(writer, cfg.heartbeat_interval_ms);
-        telemetry = std::make_unique<ForwardingSink>(writer);
-        obs::set_sink(telemetry.get());
         break;
       }
       case FrameType::kTask: {

@@ -20,6 +20,34 @@ double histogram_bucket_lower_bound(std::size_t bucket) {
   return std::ldexp(1.0, static_cast<int>(bucket) - 1);
 }
 
+double histogram_percentile(const HistogramView& view, double p) {
+  if (view.count == 0) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
+  // 1-based rank of the sample we want (nearest-rank definition).
+  std::uint64_t k =
+      static_cast<std::uint64_t>(std::ceil(p / 100.0 * static_cast<double>(view.count)));
+  k = std::clamp<std::uint64_t>(k, 1, view.count);
+  std::uint64_t before = 0;
+  for (std::size_t b = 0; b < kHistogramBuckets; ++b) {
+    const std::uint64_t in_bucket = view.buckets[b];
+    if (in_bucket == 0) continue;
+    if (before + in_bucket >= k) {
+      const double lo = histogram_bucket_lower_bound(b);
+      // The last bucket is open-ended; its effective upper edge is the
+      // observed max.
+      const double hi = (b + 1 < kHistogramBuckets) ? histogram_bucket_lower_bound(b + 1)
+                                                    : std::max(view.max, lo);
+      const double pos = static_cast<double>(k - before) / static_cast<double>(in_bucket);
+      const double v = lo + (hi - lo) * pos;
+      // Clamping to the observed extremes makes single-value buckets
+      // exact and keeps estimates inside the data range.
+      return std::clamp(v, view.min, view.max);
+    }
+    before += in_bucket;
+  }
+  return view.max;
+}
+
 #if FD_OBS_ENABLED
 
 void Histogram::record(double v) {
@@ -65,6 +93,12 @@ void Histogram::snapshot_into(HistogramView& view) const {
   view.max = max_;
   view.buckets = buckets_;
 }
+double Histogram::percentile(double p) const {
+  HistogramView view;
+  snapshot_into(view);
+  return histogram_percentile(view, p);
+}
+
 void Histogram::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   count_ = 0;

@@ -56,6 +56,15 @@ struct RegistrySnapshot {
   std::vector<HistogramView> histograms;
 };
 
+// Percentile estimate over a snapshot's log-scale buckets: finds the
+// bucket holding the ceil(p/100 * count)-th smallest sample (1-based)
+// and linearly interpolates inside it, clamped into the observed
+// [min, max]. Exact whenever all samples in the target bucket are equal
+// (the common timer-spike shape); otherwise accurate to bucket width.
+// p in [0, 100]; returns 0 on an empty view. Always compiled --
+// fd-report uses it on parsed telemetry in either obs mode.
+[[nodiscard]] double histogram_percentile(const HistogramView& view, double p);
+
 #if FD_OBS_ENABLED
 
 class Counter {
@@ -90,6 +99,8 @@ class Histogram {
   // each lock separately, so composing them during concurrent record()
   // calls can tear (count from one instant, sum from another).
   void snapshot_into(HistogramView& view) const;
+  // histogram_percentile() over a single-lock snapshot of this metric.
+  [[nodiscard]] double percentile(double p) const;
   void reset();
 
  private:
@@ -151,6 +162,7 @@ class Histogram {
   [[nodiscard]] double max() const { return 0.0; }
   [[nodiscard]] std::uint64_t bucket_count(std::size_t) const { return 0; }
   void snapshot_into(HistogramView&) const {}
+  [[nodiscard]] double percentile(double) const { return 0.0; }
   void reset() {}
 };
 

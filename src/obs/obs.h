@@ -11,5 +11,6 @@
 #include "obs/event.h"    // IWYU pragma: export
 #include "obs/jsonl.h"    // IWYU pragma: export
 #include "obs/metrics.h"  // IWYU pragma: export
+#include "obs/profile.h"  // IWYU pragma: export
 #include "obs/sink.h"     // IWYU pragma: export
 #include "obs/span.h"     // IWYU pragma: export

@@ -1,0 +1,178 @@
+#include "obs/profile.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#if defined(__linux__) || defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define FD_OBS_HAVE_UNISTD 1
+#else
+#define FD_OBS_HAVE_UNISTD 0
+#endif
+
+namespace fd::obs {
+
+namespace {
+
+std::string slurp_small(const char* path) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return {};
+  char buf[4096];
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  return std::string(buf, n);
+}
+
+}  // namespace
+
+ResourceUsage sample_resources() {
+  ResourceUsage u;
+#if FD_OBS_HAVE_UNISTD
+  // RSS: /proc/self/statm field 2 (resident pages).
+  if (const std::string statm = slurp_small("/proc/self/statm"); !statm.empty()) {
+    unsigned long size_pages = 0, resident_pages = 0;
+    if (std::sscanf(statm.c_str(), "%lu %lu", &size_pages, &resident_pages) == 2) {
+      const long page = sysconf(_SC_PAGESIZE);
+      u.rss_bytes = static_cast<double>(resident_pages) * static_cast<double>(page > 0 ? page : 4096);
+      u.ok = true;
+    }
+  }
+  // CPU: /proc/self/stat utime/stime -- the 12th/13th tokens after the
+  // last ')' (the comm field may itself contain spaces and parens, so
+  // scan from the last close-paren, not the front).
+  if (const std::string stat = slurp_small("/proc/self/stat"); !stat.empty()) {
+    const std::size_t paren = stat.rfind(')');
+    if (paren != std::string::npos) {
+      const char* p = stat.c_str() + paren + 1;
+      unsigned long utime = 0, stime = 0;
+      int token = 0;
+      while (*p != '\0' && token < 14) {
+        while (*p == ' ') ++p;
+        if (*p == '\0') break;
+        ++token;  // 1-based: state=1 ... utime=12, stime=13
+        if (token == 12) utime = std::strtoul(p, nullptr, 10);
+        if (token == 13) {
+          stime = std::strtoul(p, nullptr, 10);
+          break;
+        }
+        while (*p != '\0' && *p != ' ') ++p;
+      }
+      const long hz = sysconf(_SC_CLK_TCK);
+      const double ms_per_tick = 1000.0 / static_cast<double>(hz > 0 ? hz : 100);
+      u.cpu_user_ms = static_cast<double>(utime) * ms_per_tick;
+      u.cpu_sys_ms = static_cast<double>(stime) * ms_per_tick;
+      u.ok = true;
+    }
+  }
+  // I/O: /proc/self/io "read_bytes:" line (absent in locked-down
+  // containers; leave 0 then).
+  if (const std::string io = slurp_small("/proc/self/io"); !io.empty()) {
+    if (const std::size_t pos = io.find("read_bytes:"); pos != std::string::npos) {
+      u.read_bytes = std::strtod(io.c_str() + pos + std::strlen("read_bytes:"), nullptr);
+    }
+  }
+#endif  // FD_OBS_HAVE_UNISTD
+  return u;
+}
+
+}  // namespace fd::obs
+
+#if FD_OBS_ENABLED
+
+#include <atomic>
+#include <chrono>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
+
+#include "obs/metrics.h"
+#include "obs/sink.h"
+
+namespace fd::obs {
+
+namespace {
+
+std::uint32_t assign_tid() {
+  static std::atomic<std::uint32_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+double steady_now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::uint32_t current_tid() {
+  thread_local std::uint32_t tid = assign_tid();
+  return tid;
+}
+
+void set_thread_name(std::string_view name) {
+#if defined(__linux__)
+  char buf[16];  // pthread limit: 15 chars + NUL
+  const std::size_t n = std::min(name.size(), sizeof(buf) - 1);
+  std::memcpy(buf, name.data(), n);
+  buf[n] = '\0';
+  pthread_setname_np(pthread_self(), buf);
+#endif
+  event("thread.name").with("tid", current_tid()).with("name", name).emit();
+}
+
+ResourceSampler::ResourceSampler(std::size_t interval_ms)
+    : interval_ms_(interval_ms == 0 ? 1 : interval_ms), thread_([this] { run(); }) {}
+
+ResourceSampler::~ResourceSampler() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  thread_.join();
+}
+
+void ResourceSampler::run() {
+  set_thread_name("fd-profile");
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    lock.unlock();
+    emit_sample();
+    lock.lock();
+    if (stop_) break;
+    cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_), [this] { return stop_; });
+    if (stop_) {
+      // One final sample so short-lived processes still land at least
+      // two points on every counter track.
+      lock.unlock();
+      emit_sample();
+      lock.lock();
+      break;
+    }
+  }
+}
+
+void ResourceSampler::emit_sample() {
+  const ResourceUsage u = sample_resources();
+  if (!u.ok) return;
+  auto& reg = MetricsRegistry::global();
+  reg.gauge("obs.profile.rss_bytes").set(u.rss_bytes);
+  reg.gauge("obs.profile.cpu_user_ms").set(u.cpu_user_ms);
+  reg.gauge("obs.profile.cpu_sys_ms").set(u.cpu_sys_ms);
+  reg.gauge("obs.profile.read_bytes").set(u.read_bytes);
+  event("profile")
+      .with("ts_us", steady_now_us())
+      .with("rss_bytes", u.rss_bytes)
+      .with("cpu_user_ms", u.cpu_user_ms)
+      .with("cpu_sys_ms", u.cpu_sys_ms)
+      .with("read_bytes", u.read_bytes)
+      .emit();
+}
+
+}  // namespace fd::obs
+
+#endif  // FD_OBS_ENABLED

@@ -1,0 +1,84 @@
+#pragma once
+// Per-process resource profiling and thread identity metadata.
+//
+// current_tid(): a small stable per-thread id (1-based, assigned in
+// first-use order), used instead of OS thread ids so span events stay
+// comparable across runs of the same single-threaded test.
+//
+// set_thread_name(): names the calling thread for the trace timeline --
+// sets the OS-level name (pthread) and, if a telemetry sink is
+// installed, emits a "thread.name" event {tid, name} that the trace
+// exporter turns into Perfetto thread_name metadata.
+//
+// sample_resources(): one-shot snapshot of RSS / user+sys CPU / bytes
+// read from /proc/self (always compiled; ok=false where /proc is
+// absent, e.g. non-Linux).
+//
+// ResourceSampler: background thread emitting a "profile" event (plus
+// obs gauges) every interval_ms. Profile events carry measured machine
+// state and are nondeterministic BY NAME -- determinism comparisons
+// drop whole "profile" events, not just the _us/_ms keys (see the
+// sink.h convention note). Compiles to an empty struct under
+// FD_OBS=OFF.
+
+#include <cstdint>
+#include <string_view>
+
+#if FD_OBS_ENABLED
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#endif
+
+namespace fd::obs {
+
+struct ResourceUsage {
+  bool ok = false;
+  double rss_bytes = 0.0;
+  double cpu_user_ms = 0.0;
+  double cpu_sys_ms = 0.0;
+  double read_bytes = 0.0;
+};
+
+// Always compiled; each field best-effort (a missing /proc/self/io --
+// e.g. locked-down containers -- zeroes read_bytes but keeps ok=true
+// if statm parsed).
+[[nodiscard]] ResourceUsage sample_resources();
+
+#if FD_OBS_ENABLED
+
+[[nodiscard]] std::uint32_t current_tid();
+void set_thread_name(std::string_view name);
+
+class ResourceSampler {
+ public:
+  explicit ResourceSampler(std::size_t interval_ms = 25);
+  ~ResourceSampler();
+  ResourceSampler(const ResourceSampler&) = delete;
+  ResourceSampler& operator=(const ResourceSampler&) = delete;
+
+ private:
+  void run();
+  static void emit_sample();
+
+  std::size_t interval_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+#else  // FD_OBS_ENABLED == 0
+
+[[nodiscard]] inline std::uint32_t current_tid() { return 0; }
+inline void set_thread_name(std::string_view) {}
+
+class ResourceSampler {
+ public:
+  explicit ResourceSampler(unsigned long = 25) {}
+};
+
+#endif  // FD_OBS_ENABLED
+
+}  // namespace fd::obs

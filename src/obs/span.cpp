@@ -1,24 +1,154 @@
 #include "obs/span.h"
 
+namespace fd::obs {
+
+std::string span_id_hex(std::uint64_t id) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[id & 0xF];
+    id >>= 4;
+  }
+  return out;
+}
+
+std::uint64_t parse_span_id_hex(std::string_view s) {
+  if (s.size() != 16) return 0;
+  std::uint64_t v = 0;
+  for (const char c : s) {
+    std::uint64_t nibble = 0;
+    if (c >= '0' && c <= '9') {
+      nibble = static_cast<std::uint64_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      nibble = static_cast<std::uint64_t>(c - 'a') + 10;
+    } else if (c >= 'A' && c <= 'F') {
+      nibble = static_cast<std::uint64_t>(c - 'A') + 10;
+    } else {
+      return 0;
+    }
+    v = (v << 4) | nibble;
+  }
+  return v;
+}
+
+}  // namespace fd::obs
+
 #if FD_OBS_ENABLED
 
+#include <atomic>
+#include <mutex>
 #include <vector>
 
+#include "exec/seed_split.h"
+#include "obs/profile.h"
 #include "obs/sink.h"
 
 namespace fd::obs {
 
 namespace {
 
-std::vector<const Span*>& span_stack() {
-  thread_local std::vector<const Span*> stack;
+std::vector<Span*>& span_stack() {
+  thread_local std::vector<Span*> stack;
   return stack;
+}
+
+// The ambient (stackless) parent: the trace root, or a remote parent
+// installed by ScopedSpanParent. Guarded by a mutex because spans are
+// created on pool threads concurrently; swaps are rare (once per
+// campaign / per fleet task), reads are once per root-level span.
+struct Ambient {
+  std::mutex mu;
+  SpanContext ctx;
+  // Shared child sequence for every span parented directly under the
+  // ambient context (including stack children of a root-adopting span),
+  // so siblings created on different threads get distinct seq numbers.
+  std::atomic<std::uint64_t> children{0};
+};
+
+Ambient& ambient() {
+  static Ambient a;
+  return a;
+}
+
+// Domain-separation salt for root span IDs ("ROOT" in ASCII).
+constexpr std::uint64_t kRootSalt = 0x524F4F54;
+
+std::uint64_t derive_root_id(std::uint64_t trace_id) {
+  return exec::mix64(trace_id ^ kRootSalt);
+}
+
+// Child ID = pure function of (trace, parent span, sibling ordinal).
+std::uint64_t derive_child_id(const SpanContext& parent, std::uint64_t seq) {
+  return exec::split_seed(parent.span_id ^ exec::mix64(parent.trace_id), seq);
+}
+
+SpanContext ambient_ctx_copy() {
+  Ambient& a = ambient();
+  std::lock_guard<std::mutex> lock(a.mu);
+  return a.ctx;
 }
 
 }  // namespace
 
+void set_trace_root(std::uint64_t trace_id) {
+  Ambient& a = ambient();
+  std::lock_guard<std::mutex> lock(a.mu);
+  a.ctx.trace_id = trace_id;
+  a.ctx.span_id = derive_root_id(trace_id);
+  a.ctx.parent_span_id = 0;
+  a.children.store(0, std::memory_order_relaxed);
+}
+
+SpanContext ambient_span_context() { return ambient_ctx_copy(); }
+
+ScopedSpanParent::ScopedSpanParent(const SpanContext& ctx, std::uint64_t first_child_seq) {
+  Ambient& a = ambient();
+  std::lock_guard<std::mutex> lock(a.mu);
+  prev_ = a.ctx;
+  prev_children_ = a.children.load(std::memory_order_relaxed);
+  a.ctx = ctx;
+  a.children.store(first_child_seq, std::memory_order_relaxed);
+}
+
+ScopedSpanParent::~ScopedSpanParent() {
+  Ambient& a = ambient();
+  std::lock_guard<std::mutex> lock(a.mu);
+  a.ctx = prev_;
+  a.children.store(prev_children_, std::memory_order_relaxed);
+}
+
 Span::Span(std::string_view name) : name_(name), start_(std::chrono::steady_clock::now()) {
+  auto& stack = span_stack();
+  SpanContext parent;
+  std::uint64_t seq = 0;
+  if (!stack.empty()) {
+    Span* top = stack.back();
+    parent = top->ctx_;
+    seq = top->next_child_seq();
+  } else {
+    parent = ambient_ctx_copy();
+    seq = ambient().children.fetch_add(1, std::memory_order_relaxed);
+  }
+  ctx_.trace_id = parent.trace_id;
+  ctx_.parent_span_id = parent.span_id;
+  ctx_.span_id = derive_child_id(parent, seq);
+  stack.push_back(this);
+}
+
+Span::Span(std::string_view name, Root)
+    : name_(name), adopted_(true), start_(std::chrono::steady_clock::now()) {
+  ctx_ = ambient_ctx_copy();
   span_stack().push_back(this);
+}
+
+std::uint64_t Span::next_child_seq() {
+  // An adopted root shares the process-global sequence with
+  // ambient-parented spans on other threads -- they are siblings and
+  // must not reuse ordinals. A regular span's stack children are
+  // single-threaded (the stack is thread-local), so a plain counter is
+  // enough.
+  if (adopted_) return ambient().children.fetch_add(1, std::memory_order_relaxed);
+  return children_++;
 }
 
 Span::~Span() {
@@ -32,7 +162,20 @@ Span::~Span() {
   const double us = elapsed_us();
   MetricsRegistry::global().histogram("span." + name_ + ".us").record(us);
   if (sink() != nullptr) {
-    event("span").with("name", name_).with("depth", stack.size()).with("wall_us", us).emit();
+    const double start_us =
+        std::chrono::duration<double, std::micro>(start_.time_since_epoch()).count();
+    EventBuilder b = event("span");
+    b.with("name", name_)
+        .with("trace", span_id_hex(ctx_.trace_id))
+        .with("span", span_id_hex(ctx_.span_id))
+        .with("parent", span_id_hex(ctx_.parent_span_id))
+        .with("tid", current_tid())
+        .with("depth", stack.size())
+        .with("ts_us", start_us)
+        .with("wall_us", us);
+    for (const auto& [k, v] : notes_u64_) b.with(k, v);
+    for (const auto& [k, v] : notes_str_) b.with(k, std::string_view(v));
+    b.emit();
   }
 }
 
@@ -41,11 +184,25 @@ double Span::elapsed_us() const {
       .count();
 }
 
+void Span::note(std::string_view key, std::uint64_t v) {
+  notes_u64_.emplace_back(std::string(key), v);
+}
+
+void Span::note(std::string_view key, std::string_view v) {
+  notes_str_.emplace_back(std::string(key), std::string(v));
+}
+
 std::size_t Span::depth() { return span_stack().size(); }
 
 std::string_view Span::current_name() {
   const auto& stack = span_stack();
   return stack.empty() ? std::string_view{} : std::string_view(stack.back()->name());
+}
+
+SpanContext Span::current_context() {
+  const auto& stack = span_stack();
+  if (!stack.empty()) return stack.back()->ctx_;
+  return ambient_ctx_copy();
 }
 
 }  // namespace fd::obs

@@ -1,18 +1,39 @@
 #pragma once
-// RAII timing scopes.
+// RAII timing scopes with propagated trace context.
 //
-// Span: a named, nestable scope tracked on a thread-local stack. On
-// destruction it records its wall time into the global registry
-// histogram "span.<name>.us" and, if a telemetry sink is installed,
-// emits a "span" event carrying the name, remaining nesting depth, and
-// duration. Stack unwinding (early return, exception) closes spans in
-// the right order for free -- that is the point of the RAII shape.
+// Span: a named, nestable scope tracked on a thread-local stack. Every
+// span carries a SpanContext (trace_id / span_id / parent_span_id)
+// whose IDs are SplitMix64-derived from the trace root and a per-parent
+// child sequence number -- never from wall clock or thread identity --
+// so a fixed-seed run produces the same tree of IDs every time
+// (replay-stable; see DESIGN.md section 13). On destruction a span
+// records its wall time into the global registry histogram
+// "span.<name>.us" and, if a telemetry sink is installed, emits a
+// "span" event carrying the name, context (as 16-hex-char strings: the
+// JSONL parser stores numbers as doubles and would mangle raw u64 IDs),
+// thread id, start timestamp, and duration. Stack unwinding (early
+// return, exception) closes spans in the right order for free -- that
+// is the point of the RAII shape.
+//
+// Parentage rules, in order:
+//   1. innermost span on the calling thread's stack;
+//   2. otherwise the process-global ambient context -- the trace root
+//      installed by set_trace_root(), or a remote parent installed by
+//      ScopedSpanParent (how fleet workers graft their task spans under
+//      the coordinator's JobGraph stage spans).
+// A root-adopting span (Span::Root::kAdopt) BECOMES the ambient root
+// context instead of deriving a child ID; its stack children draw from
+// the same process-global sequence as ambient-parented spans on other
+// threads, so sibling IDs never collide.
 //
 // ScopedTimer: the span's little sibling -- times a scope into a
 // caller-chosen histogram with no stack, no event, no name lookup.
 //
-// Both compile to empty structs when FD_OBS_ENABLED is 0.
+// The recording classes compile to empty structs when FD_OBS_ENABLED
+// is 0; SpanContext and the hex helpers are always compiled (the trace
+// exporter and fd-report parse them in either mode).
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -20,30 +41,98 @@
 
 #if FD_OBS_ENABLED
 #include <chrono>
+#include <utility>
+#include <vector>
 #endif
 
 namespace fd::obs {
 
+// Propagated identity of one span. trace_id groups a whole campaign;
+// span_id is unique within the trace; parent_span_id is 0 only for the
+// root. Always compiled.
+struct SpanContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+  std::uint64_t parent_span_id = 0;
+};
+
+// 16 lowercase hex chars, zero-padded -- the JSONL wire form of an ID.
+[[nodiscard]] std::string span_id_hex(std::uint64_t id);
+// Inverse of span_id_hex; returns 0 on anything but exactly 16 hex
+// chars (0 doubles as "no parent", which malformed input degrades to).
+[[nodiscard]] std::uint64_t parse_span_id_hex(std::string_view s);
+
 #if FD_OBS_ENABLED
+
+// Installs the process-global trace root: trace_id as given, root
+// span_id derived from it, child sequence reset. Call once per
+// campaign with an ID derived from the experiment/session hash.
+void set_trace_root(std::uint64_t trace_id);
+// The current ambient context (root or ScopedSpanParent override).
+[[nodiscard]] SpanContext ambient_span_context();
 
 class Span {
  public:
+  enum class Root { kAdopt };
+
   explicit Span(std::string_view name);
+  // Adopts the ambient context instead of deriving a child ID: this
+  // span IS the trace root (or, under ScopedSpanParent, the remote
+  // parent's local stand-in sharing its identity).
+  Span(std::string_view name, Root);
   ~Span();
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
   [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] const SpanContext& context() const { return ctx_; }
   [[nodiscard]] double elapsed_us() const;
+
+  // Extra fields appended to this span's "span" event (e.g. the fleet
+  // task id, which the exporter uses to draw reassignment flow arrows).
+  void note(std::string_view key, std::uint64_t v);
+  void note(std::string_view key, std::string_view v);
 
   // Nesting depth of the calling thread's active span stack.
   [[nodiscard]] static std::size_t depth();
   // Innermost active span's name, or "" when none.
   [[nodiscard]] static std::string_view current_name();
+  // Context a child span created right now would be parented under:
+  // innermost stack span, else the ambient context.
+  [[nodiscard]] static SpanContext current_context();
 
  private:
+  std::uint64_t next_child_seq();
+
   std::string name_;
+  SpanContext ctx_;
+  std::uint64_t children_ = 0;  // child seq; only touched via the
+                                // owning thread's stack top
+  bool adopted_ = false;
+  std::vector<std::pair<std::string, std::string>> notes_str_;
+  std::vector<std::pair<std::string, std::uint64_t>> notes_u64_;
   std::chrono::steady_clock::time_point start_;
+};
+
+// Overrides the ambient context for the duration of the scope (process
+// global: covers pool threads with empty span stacks too). The fleet
+// worker wraps each task in one of these built from the TaskSpec's
+// propagated parent, so its spans join the coordinator's tree.
+//
+// first_child_seq seeds the ambient child sequence: sibling tasks of
+// the same remote parent run in different processes, so each must claim
+// a disjoint ordinal range (the worker passes task_id << 32) or their
+// derived span IDs would collide.
+class ScopedSpanParent {
+ public:
+  explicit ScopedSpanParent(const SpanContext& ctx, std::uint64_t first_child_seq = 0);
+  ~ScopedSpanParent();
+  ScopedSpanParent(const ScopedSpanParent&) = delete;
+  ScopedSpanParent& operator=(const ScopedSpanParent&) = delete;
+
+ private:
+  SpanContext prev_;
+  std::uint64_t prev_children_;
 };
 
 class ScopedTimer {
@@ -65,16 +154,33 @@ class ScopedTimer {
 
 #else  // FD_OBS_ENABLED == 0
 
+inline void set_trace_root(std::uint64_t) {}
+[[nodiscard]] inline SpanContext ambient_span_context() { return {}; }
+
 class Span {
  public:
+  enum class Root { kAdopt };
   explicit Span(std::string_view) {}
+  Span(std::string_view, Root) {}
   [[nodiscard]] const std::string& name() const {
     static const std::string empty;
     return empty;
   }
+  [[nodiscard]] const SpanContext& context() const {
+    static const SpanContext empty;
+    return empty;
+  }
   [[nodiscard]] double elapsed_us() const { return 0.0; }
+  void note(std::string_view, std::uint64_t) {}
+  void note(std::string_view, std::string_view) {}
   [[nodiscard]] static std::size_t depth() { return 0; }
   [[nodiscard]] static std::string_view current_name() { return {}; }
+  [[nodiscard]] static SpanContext current_context() { return {}; }
+};
+
+class ScopedSpanParent {
+ public:
+  explicit ScopedSpanParent(const SpanContext&, std::uint64_t = 0) {}
 };
 
 class ScopedTimer {

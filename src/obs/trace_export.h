@@ -1,0 +1,63 @@
+#pragma once
+// Telemetry JSONL -> Chrome trace-event JSON (Perfetto-loadable).
+//
+// Input: one unified fleet telemetry stream -- the coordinator's JSONL
+// file where every row is worker-tagged ("worker":"coord" for the
+// coordinator's own events, "worker":N for forwarded worker events; a
+// single-process run has no tags and maps to one process). Output: the
+// "JSON Array Format" the Chrome tracing UI and ui.perfetto.dev load
+// directly:
+//
+//   - every "span" event becomes a complete slice ("ph":"X") on the
+//     emitting process/thread track, with its span/parent/trace IDs and
+//     notes in args;
+//   - every "profile" event becomes counter tracks ("ph":"C"):
+//     rss_bytes, cpu_ms (user/sys stacked), read_bytes per process;
+//   - fleet lifecycle events ("fleet.*", "pipeline.*") become instants
+//     ("ph":"i");
+//   - "thread.name" events and the process map become "M" metadata, so
+//     tracks are labeled (coordinator / worker N / fd-pool-K);
+//   - spans sharing a fleet task id (a shard that was reassigned after
+//     a worker death) are chained with flow arrows (bind_id +
+//     flow_out/flow_in).
+//
+// Timestamps: the stream's "ts_us" values are steady-clock
+// (CLOCK_MONOTONIC) microseconds, a shared epoch for every process on
+// the host; the exporter re-bases them to the earliest event so output
+// starts at t=0 and re-exporting the same input is byte-identical.
+//
+// Always compiled (an FD_OBS=OFF fd-report must still export files
+// produced by instrumented builds).
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "obs/jsonl.h"
+
+namespace fd::obs::trace {
+
+struct ExportStats {
+  std::size_t events_in = 0;        // parsed JSONL objects consumed
+  std::size_t malformed_lines = 0;  // skipped by the stream reader
+  std::size_t spans = 0;            // slices emitted
+  std::size_t counter_samples = 0;  // "profile" events consumed
+  std::size_t instants = 0;
+  std::size_t flow_arrows = 0;  // reassignment chains drawn
+  std::size_t thread_names = 0;
+  std::size_t processes = 0;
+  std::size_t orphan_spans = 0;  // non-root parent id absent from stream
+};
+
+// Pure function of `events` (byte-identical output for identical
+// input); the exporter core, used directly by tests.
+[[nodiscard]] std::string chrome_trace_json(const std::vector<jsonl::Object>& events,
+                                            ExportStats* stats = nullptr);
+
+// File front end: tolerant JSONL read (truncated tails and torn lines
+// skipped, counted in stats) -> chrome_trace_json -> out_path. False on
+// I/O failure with the reason in *err.
+[[nodiscard]] bool export_chrome_trace(const std::string& jsonl_path, const std::string& out_path,
+                                       std::string* err = nullptr, ExportStats* stats = nullptr);
+
+}  // namespace fd::obs::trace

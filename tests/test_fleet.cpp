@@ -228,6 +228,8 @@ TEST(FleetProtocol, SessionRoundTrip) {
   s.checkpoint_every = 3;
   s.session_hash = 0x1122334455667788ULL;
   s.heartbeat_interval_ms = 123;
+  s.trace_id = 0x99AABBCCDDEEFF00ULL;
+  s.profile_interval_ms = 15;
 
   std::vector<std::uint8_t> bytes;
   fleet::encode_session(bytes, s);
@@ -268,6 +270,8 @@ TEST(FleetProtocol, SessionRoundTrip) {
   EXPECT_EQ(back.checkpoint_every, s.checkpoint_every);
   EXPECT_EQ(back.session_hash, s.session_hash);
   EXPECT_EQ(back.heartbeat_interval_ms, s.heartbeat_interval_ms);
+  EXPECT_EQ(back.trace_id, s.trace_id);
+  EXPECT_EQ(back.profile_interval_ms, s.profile_interval_ms);
 
   // Decoders are total: every strict prefix is rejected, no throw.
   for (std::size_t cut = 0; cut < bytes.size(); ++cut) {
@@ -291,6 +295,7 @@ TEST(FleetProtocol, TaskAndResultRoundTrip) {
   spec.components = {3, 5, 9, 11};
   spec.kill_after = 2;
   spec.hang_ms = 150;
+  spec.parent_span = 0xFEDCBA9876543210ULL;
   std::vector<std::uint8_t> bytes;
   fleet::encode_task(bytes, spec);
   fleet::TaskSpec spec_back;
@@ -306,6 +311,7 @@ TEST(FleetProtocol, TaskAndResultRoundTrip) {
   EXPECT_EQ(spec_back.components, spec.components);
   EXPECT_EQ(spec_back.kill_after, spec.kill_after);
   EXPECT_EQ(spec_back.hang_ms, spec.hang_ms);
+  EXPECT_EQ(spec_back.parent_span, spec.parent_span);
 
   fleet::TaskResult res;
   res.task_id = 42;
@@ -315,6 +321,7 @@ TEST(FleetProtocol, TaskAndResultRoundTrip) {
   res.queries = 7;
   res.records = 28;
   res.archive_scans = 3;
+  res.span = 0x1234000056780000ULL;
   res.quality.total = 100;
   res.quality.accepted = 93;
   res.quality.rejected_saturated = 3;
@@ -346,6 +353,7 @@ TEST(FleetProtocol, TaskAndResultRoundTrip) {
   EXPECT_EQ(res_back.queries, res.queries);
   EXPECT_EQ(res_back.records, res.records);
   EXPECT_EQ(res_back.archive_scans, res.archive_scans);
+  EXPECT_EQ(res_back.span, res.span);
   EXPECT_EQ(res_back.quality.total, res.quality.total);
   EXPECT_EQ(res_back.quality.accepted, res.quality.accepted);
   EXPECT_EQ(res_back.quality.realigned, res.quality.realigned);
@@ -370,6 +378,7 @@ TEST(FleetProtocol, TaskAndResultRoundTrip) {
   p.task_id = 42;
   p.completed = 3;
   p.total = 4;
+  p.span = 0xA5A5A5A5A5A5A5A5ULL;
   bytes.clear();
   fleet::encode_progress(bytes, p);
   fleet::Progress p2;
@@ -377,6 +386,7 @@ TEST(FleetProtocol, TaskAndResultRoundTrip) {
   EXPECT_EQ(p2.task_id, 42u);
   EXPECT_EQ(p2.completed, 3u);
   EXPECT_EQ(p2.total, 4u);
+  EXPECT_EQ(p2.span, p.span);
 }
 
 // --- shard folds: merge + wire serde ---------------------------------------

@@ -318,7 +318,123 @@ TEST(ObsMetrics, ExportToSinkEmitsMetricEvents) {
   EXPECT_TRUE(found);
 }
 
+TEST(ObsMetrics, PercentileOverHandBuiltView) {
+  // Always compiled: fd-report runs this estimator over parsed
+  // telemetry even in FD_OBS=OFF builds.
+  obs::HistogramView v;
+  EXPECT_EQ(obs::histogram_percentile(v, 50.0), 0.0);  // empty
+
+  // 100 identical samples of 3.0: every percentile is exactly 3.0
+  // (interpolation inside bucket [2,4) is clamped to [min,max]).
+  v.count = 100;
+  v.sum = 300.0;
+  v.min = v.max = 3.0;
+  v.buckets[obs::histogram_bucket_index(3.0)] = 100;
+  EXPECT_EQ(obs::histogram_percentile(v, 50.0), 3.0);
+  EXPECT_EQ(obs::histogram_percentile(v, 95.0), 3.0);
+  EXPECT_EQ(obs::histogram_percentile(v, 99.0), 3.0);
+
+  // Bimodal 50x1.5 + 50x8.0: p50 interpolates to the top of the low
+  // bucket [1,2); the tail percentiles clamp to the observed max.
+  obs::HistogramView w;
+  w.count = 100;
+  w.sum = 50 * 1.5 + 50 * 8.0;
+  w.min = 1.5;
+  w.max = 8.0;
+  w.buckets[obs::histogram_bucket_index(1.5)] = 50;
+  w.buckets[obs::histogram_bucket_index(8.0)] = 50;
+  EXPECT_EQ(obs::histogram_percentile(w, 50.0), 2.0);
+  EXPECT_EQ(obs::histogram_percentile(w, 95.0), 8.0);
+  EXPECT_EQ(obs::histogram_percentile(w, 99.0), 8.0);
+  EXPECT_EQ(obs::histogram_percentile(w, 0.0), 1.5);  // rank clamps to 1
+}
+
+TEST(ObsMetrics, HistogramPercentileMatchesFreeFunction) {
+  if (!FD_OBS_ENABLED) GTEST_SKIP() << "built with FD_OBS=OFF";
+  auto& h = obs::MetricsRegistry::global().histogram("test.obs.pct");
+  h.reset();
+  for (int i = 0; i < 100; ++i) h.record(3.0);
+  EXPECT_EQ(h.percentile(50.0), 3.0);
+  EXPECT_EQ(h.percentile(99.0), 3.0);
+  h.reset();
+  for (int i = 0; i < 50; ++i) h.record(1.5);
+  for (int i = 0; i < 50; ++i) h.record(8.0);
+  EXPECT_EQ(h.percentile(50.0), 2.0);
+  EXPECT_EQ(h.percentile(95.0), 8.0);
+}
+
 // ---- spans ----------------------------------------------------------------
+
+TEST(ObsSpan, SpanIdHexRoundTrip) {
+  // Always compiled (wire form of span IDs in JSONL).
+  EXPECT_EQ(obs::span_id_hex(0x0123456789ABCDEFULL), "0123456789abcdef");
+  EXPECT_EQ(obs::span_id_hex(0), "0000000000000000");
+  EXPECT_EQ(obs::parse_span_id_hex("0123456789abcdef"), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(obs::parse_span_id_hex(obs::span_id_hex(0xDEADBEEFCAFEF00DULL)),
+            0xDEADBEEFCAFEF00DULL);
+  // Malformed inputs degrade to 0 ("no parent").
+  EXPECT_EQ(obs::parse_span_id_hex(""), 0u);
+  EXPECT_EQ(obs::parse_span_id_hex("abc"), 0u);
+  EXPECT_EQ(obs::parse_span_id_hex("0123456789abcde"), 0u);    // 15 chars
+  EXPECT_EQ(obs::parse_span_id_hex("0123456789abcdefg"), 0u);  // 17 chars
+  EXPECT_EQ(obs::parse_span_id_hex("0123456789abcdzz"), 0u);   // non-hex
+}
+
+TEST(ObsSpan, ContextDerivationIsReplayStable) {
+  if (!FD_OBS_ENABLED) GTEST_SKIP() << "built with FD_OBS=OFF";
+  const auto capture_tree = [] {
+    std::vector<obs::SpanContext> out;
+    obs::Span root("ctx.root", obs::Span::Root::kAdopt);
+    out.push_back(root.context());
+    {
+      obs::Span a("ctx.a");
+      out.push_back(a.context());
+      obs::Span aa("ctx.aa");
+      out.push_back(aa.context());
+    }
+    obs::Span b("ctx.b");
+    out.push_back(b.context());
+    return out;
+  };
+
+  obs::set_trace_root(0xABCDEF);
+  const auto first = capture_tree();
+  obs::set_trace_root(0xABCDEF);  // resets the child sequence too
+  const auto second = capture_tree();
+
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].trace_id, second[i].trace_id) << i;
+    EXPECT_EQ(first[i].span_id, second[i].span_id) << i;
+    EXPECT_EQ(first[i].parent_span_id, second[i].parent_span_id) << i;
+  }
+  // Structure: the adopted root IS the ambient root context; children
+  // are parented under it; siblings get distinct IDs.
+  obs::set_trace_root(0xABCDEF);
+  EXPECT_EQ(first[0].span_id, obs::ambient_span_context().span_id);
+  EXPECT_EQ(first[0].parent_span_id, 0u);
+  EXPECT_EQ(first[1].parent_span_id, first[0].span_id);
+  EXPECT_EQ(first[2].parent_span_id, first[1].span_id);
+  EXPECT_EQ(first[3].parent_span_id, first[0].span_id);
+  EXPECT_NE(first[1].span_id, first[3].span_id);
+  for (const auto& ctx : first) EXPECT_EQ(ctx.trace_id, 0xABCDEFu);
+}
+
+TEST(ObsSpan, ScopedSpanParentReparentsUnderRemoteContext) {
+  if (!FD_OBS_ENABLED) GTEST_SKIP() << "built with FD_OBS=OFF";
+  obs::set_trace_root(0x111);
+  const obs::SpanContext remote{0x222, 0x9999, 0};
+  {
+    // What a fleet worker does with the TaskSpec's propagated parent.
+    obs::ScopedSpanParent reparent(remote);
+    obs::Span task("reparent.task");
+    EXPECT_EQ(task.context().trace_id, 0x222u);
+    EXPECT_EQ(task.context().parent_span_id, 0x9999u);
+  }
+  // The previous ambient context is restored on scope exit.
+  obs::Span local("reparent.local");
+  EXPECT_EQ(local.context().trace_id, 0x111u);
+}
 
 TEST(ObsSpan, NestingDepthAndCurrentName) {
   if (!FD_OBS_ENABLED) GTEST_SKIP() << "built with FD_OBS=OFF";
@@ -441,6 +557,9 @@ TEST(ObsDeterminism, FixedSeedCampaignTelemetryIsReproducible) {
 
   std::vector<std::string> runs[2];
   for (auto& run : runs) {
+    // Same trace root per run: span IDs are derived from it plus child
+    // ordinals, so resetting it makes the whole ID tree replay-stable.
+    obs::set_trace_root(0x0B5F00D);
     obs::CollectingSink sink;
     obs::ScopedTelemetrySink scope(&sink);
     const auto sets = sca::run_full_campaign(kp.sk, mini_config(0x0B5));
@@ -546,13 +665,14 @@ TEST(ObsConcurrency, HammerCountersSpansAndSinkFromManyThreads) {
   // Events survive the clear() races structurally intact (no torn
   // vectors): every surviving record is complete. The stream holds the
   // explicit "hammer.ev" emissions (2 fields) interleaved with the
-  // "span" events the Span destructors emit (name/depth/wall_us).
+  // "span" events the Span destructors emit
+  // (name/trace/span/parent/tid/depth/ts_us/wall_us).
   for (const auto& ev : sink.snapshot()) {
     if (ev.name == "hammer.ev") {
       ASSERT_EQ(ev.fields.size(), 2u);
     } else {
       ASSERT_EQ(ev.name, "span");
-      ASSERT_EQ(ev.fields.size(), 3u);
+      ASSERT_EQ(ev.fields.size(), 8u);
     }
   }
 }

@@ -1,0 +1,410 @@
+// Trace exporter (DESIGN.md section 13): telemetry JSONL -> Chrome
+// trace-event JSON.
+//
+//   - synthetic streams pin the exact output shape: process tracks and
+//     pid order (coordinator, then workers numerically), "X" slices,
+//     "C" counter samples, "i" instants, "M" metadata, flow arrows
+//     chaining reassigned-task spans, orphan detection, and
+//     byte-identical re-export;
+//   - a real fixed-seed 2-worker fleet run pins the cross-process tree:
+//     every line worker-tagged, every span's parent present,
+//     fleet.task.* spans nested under exec.job.* stage spans nested
+//     under the fleet.pipeline root, profile counters from all three
+//     processes, span IDs replay-stable across runs, and the recovered
+//     key bit-identical to a tracing-disabled run.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "obs/jsonl.h"
+#include "obs/span.h"
+#include "obs/trace_export.h"
+
+#if defined(FD_ATTACK_BIN)
+#include "attack/checkpoint.h"
+#include "attack/recovery_pipeline.h"
+#include "fleet/coordinator.h"
+#endif
+
+namespace fd {
+namespace {
+
+using obs::trace::ExportStats;
+
+std::vector<obs::jsonl::Object> parse_lines(const std::vector<std::string>& lines) {
+  std::vector<obs::jsonl::Object> out;
+  for (const std::string& line : lines) {
+    obs::jsonl::Object obj;
+    EXPECT_TRUE(obs::jsonl::parse_object(line, obj)) << line;
+    out.push_back(std::move(obj));
+  }
+  return out;
+}
+
+std::size_t count_of(const std::string& hay, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+// --- synthetic streams -----------------------------------------------------
+
+TEST(TraceExport, SyntheticStreamExportsTracksFlowsAndCounters) {
+  // A miniature campaign: coordinator root + stage span, one task that
+  // ran twice (reassignment), one profile sample, one instant, one
+  // orphan, one thread name. Worker tags mix string ("coord") and
+  // numeric (0, 1) forms like the real unified stream.
+  const auto events = parse_lines({
+      R"({"ev":"thread.name","tid":1,"name":"fd-coord","worker":"coord"})",
+      R"({"ev":"fleet.worker.spawn","ts_us":1005,"pid":4242,"worker":"coord"})",
+      R"({"ev":"span","name":"fleet.pipeline","trace":"00000000000000aa","span":"00000000000000a1","parent":"0000000000000000","tid":1,"depth":0,"ts_us":1000,"wall_us":500,"worker":"coord"})",
+      R"({"ev":"span","name":"exec.job.attack","trace":"00000000000000aa","span":"00000000000000a2","parent":"00000000000000a1","tid":1,"depth":1,"ts_us":1010,"wall_us":300,"worker":"coord"})",
+      R"({"ev":"span","name":"fleet.task.attack","trace":"00000000000000aa","span":"00000000000000b1","parent":"00000000000000a2","tid":1,"depth":1,"ts_us":1020,"wall_us":50,"task":7,"worker":0})",
+      R"({"ev":"profile","ts_us":1030,"rss_bytes":1048576,"cpu_user_ms":12,"cpu_sys_ms":3,"read_bytes":2048,"worker":0})",
+      R"({"ev":"span","name":"sca.capture","trace":"00000000000000aa","span":"00000000000000c1","parent":"00000000000000ff","tid":1,"depth":1,"ts_us":1040,"wall_us":5,"worker":1})",
+      R"({"ev":"span","name":"fleet.task.attack","trace":"00000000000000aa","span":"00000000000000b2","parent":"00000000000000a2","tid":1,"depth":1,"ts_us":1080,"wall_us":60,"task":7,"worker":1})",
+  });
+
+  ExportStats st;
+  const std::string json = obs::trace::chrome_trace_json(events, &st);
+
+  EXPECT_EQ(st.events_in, 8u);
+  EXPECT_EQ(st.spans, 5u);
+  EXPECT_EQ(st.counter_samples, 1u);
+  EXPECT_EQ(st.instants, 1u);
+  EXPECT_EQ(st.flow_arrows, 1u);  // attempt 1 -> attempt 2 of task 7
+  EXPECT_EQ(st.thread_names, 1u);
+  EXPECT_EQ(st.processes, 3u);  // coord, w0, w1
+  EXPECT_EQ(st.orphan_spans, 1u);
+  EXPECT_EQ(st.malformed_lines, 0u);  // only the file front end sets it
+
+  // Envelope.
+  EXPECT_EQ(json.substr(0, 17), "{\"traceEvents\":[\n");
+  EXPECT_EQ(json.substr(json.size() - 4), "\n]}\n");
+
+  // Process tracks: coordinator is always pid 1, then workers in
+  // numeric order; each gets a name and a sort index.
+  EXPECT_NE(json.find(R"({"name":"process_name","ph":"M","pid":1,"args":{"name":"coordinator"}})"),
+            std::string::npos);
+  EXPECT_NE(json.find(R"({"name":"process_name","ph":"M","pid":2,"args":{"name":"worker 0"}})"),
+            std::string::npos);
+  EXPECT_NE(json.find(R"({"name":"process_name","ph":"M","pid":3,"args":{"name":"worker 1"}})"),
+            std::string::npos);
+  EXPECT_EQ(count_of(json, "\"process_sort_index\""), 3u);
+  EXPECT_NE(json.find(R"({"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"fd-coord"}})"),
+            std::string::npos);
+
+  // Timestamps re-based to the earliest event: the root span (raw
+  // ts_us 1000) starts the trace at ts 0, the spawn instant lands at 5.
+  EXPECT_NE(
+      json.find(
+          R"({"name":"fleet.pipeline","ph":"X","ts":0,"pid":1,"tid":1,"dur":500,"args":{"trace":"00000000000000aa","span":"00000000000000a1","parent":"0000000000000000","depth":0}})"),
+      std::string::npos);
+  EXPECT_NE(json.find(R"({"name":"fleet.worker.spawn","ph":"i","ts":5,"pid":1,"tid":0,"s":"p","args":{"pid":4242}})"),
+            std::string::npos);
+
+  // Reassignment flow: first attempt emits the arrow, second receives
+  // it, both bound to the fleet task id.
+  EXPECT_NE(json.find("\"span\":\"00000000000000b1\""), std::string::npos);
+  const std::size_t b1 = json.find("00000000000000b1");
+  const std::size_t b2 = json.find("00000000000000b2");
+  ASSERT_NE(b1, std::string::npos);
+  ASSERT_NE(b2, std::string::npos);
+  EXPECT_EQ(count_of(json, "\"bind_id\":\"0x7\""), 2u);
+  EXPECT_EQ(count_of(json, "\"flow_out\":true"), 1u);
+  EXPECT_EQ(count_of(json, "\"flow_in\":true"), 1u);
+
+  // Counter tracks from the profile sample, on worker 0's track.
+  EXPECT_NE(json.find(R"({"name":"rss_bytes","ph":"C","ts":30,"pid":2,"tid":0,"args":{"rss":1048576}})"),
+            std::string::npos);
+  EXPECT_NE(json.find(R"({"name":"cpu_ms","ph":"C","ts":30,"pid":2,"tid":0,"args":{"user":12,"sys":3}})"),
+            std::string::npos);
+  EXPECT_NE(json.find(R"({"name":"read_bytes","ph":"C","ts":30,"pid":2,"tid":0,"args":{"read":2048}})"),
+            std::string::npos);
+
+  // Pure function: identical input -> byte-identical output.
+  EXPECT_EQ(obs::trace::chrome_trace_json(events), json);
+}
+
+TEST(TraceExport, UntaggedStreamMapsToSingleProcessTrack) {
+  const auto events = parse_lines({
+      R"({"ev":"span","name":"attack.pipeline","trace":"0000000000000001","span":"0000000000000002","parent":"0000000000000000","tid":1,"depth":0,"ts_us":50,"wall_us":10})",
+      R"({"ev":"pipeline.stage","ts_us":52,"stage":"capture"})",
+  });
+  ExportStats st;
+  const std::string json = obs::trace::chrome_trace_json(events, &st);
+  EXPECT_EQ(st.processes, 1u);
+  EXPECT_EQ(st.spans, 1u);
+  EXPECT_EQ(st.instants, 1u);
+  EXPECT_EQ(st.orphan_spans, 0u);
+  EXPECT_NE(json.find(R"({"name":"process_name","ph":"M","pid":1,"args":{"name":"fd-attack"}})"),
+            std::string::npos);
+}
+
+TEST(TraceExport, FileFrontEndSkipsAndCountsTornLines) {
+  const std::string in_path = "trace_export_in.jsonl";
+  const std::string out_path = "trace_export_out.json";
+  {
+    std::ofstream out(in_path, std::ios::binary);
+    out << R"({"ev":"span","name":"a","trace":"0000000000000001","span":"0000000000000002","parent":"0000000000000000","tid":1,"ts_us":1,"wall_us":2})"
+        << "\n";
+    out << "{\"ev\":\"span\",\"nam";  // torn mid-write, no newline
+  }
+  ExportStats st;
+  std::string err;
+  ASSERT_TRUE(obs::trace::export_chrome_trace(in_path, out_path, &err, &st)) << err;
+  EXPECT_EQ(st.events_in, 1u);
+  EXPECT_EQ(st.spans, 1u);
+  EXPECT_EQ(st.malformed_lines, 1u);  // the truncated tail
+
+  std::ifstream check(out_path, std::ios::binary);
+  const std::string written((std::istreambuf_iterator<char>(check)),
+                            std::istreambuf_iterator<char>());
+  EXPECT_EQ(written.substr(0, 17), "{\"traceEvents\":[\n");
+  std::remove(in_path.c_str());
+  std::remove(out_path.c_str());
+}
+
+TEST(TraceExport, MissingInputFileFailsWithReason) {
+  std::string err;
+  EXPECT_FALSE(obs::trace::export_chrome_trace("no_such_telemetry.jsonl", "out.json", &err));
+  EXPECT_NE(err.find("no_such_telemetry.jsonl"), std::string::npos);
+}
+
+// --- real fleet run --------------------------------------------------------
+//
+// Needs worker subprocesses (the fd-attack binary) and an instrumented
+// build: span/profile forwarding is what is under test.
+
+#if FD_OBS_ENABLED && defined(FD_ATTACK_BIN)
+
+struct TempFile {
+  explicit TempFile(std::string p) : path(std::move(p)) { clear(); }
+  ~TempFile() { clear(); }
+  void clear() const {
+    std::remove(path.c_str());
+    std::remove((path + ".fdckpt").c_str());
+    std::remove((path + ".fdckpt.tmp").c_str());
+    for (int i = 0; i < 8; ++i) {
+      std::remove((path + ".shard" + std::to_string(i)).c_str());
+    }
+    for (int i = 1; i < 16; ++i) {
+      const std::string t = path + ".task" + std::to_string(i) + ".fdckpt";
+      std::remove(t.c_str());
+      std::remove((t + ".tmp").c_str());
+    }
+  }
+  std::string path;
+};
+
+fleet::FleetConfig export_fleet(const std::string& archive, const std::string& telemetry) {
+  fleet::FleetConfig fc;
+  fc.logn = 3;
+  fc.pipeline.attack.num_traces = 240;
+  fc.pipeline.attack.device.noise_sigma = 2.0;
+  fc.pipeline.attack.adversarial_random = 100;
+  fc.pipeline.attack.seed = 0xFD06;
+  fc.pipeline.archive_path = archive;
+  fc.pipeline.capture_shards = 2;
+  fc.pipeline.checkpoint_every = 4;
+  fc.workers = 2;
+  fc.components_per_shard = 4;
+  fc.worker_binary = FD_ATTACK_BIN;
+  fc.telemetry_path = telemetry;
+  return fc;
+}
+
+struct SpanRow {
+  std::string name;
+  std::uint64_t trace = 0;
+  std::uint64_t span = 0;
+  std::uint64_t parent = 0;
+};
+
+struct TelemetryScan {
+  std::size_t lines = 0;
+  std::size_t untagged = 0;
+  std::vector<SpanRow> spans;
+  std::set<std::string> profile_workers;  // process keys that sampled
+};
+
+TelemetryScan scan_telemetry(const std::string& path) {
+  TelemetryScan scan;
+  std::ifstream in(path);
+  std::string line;
+  while (std::getline(in, line)) {
+    ++scan.lines;
+    obs::jsonl::Object obj;
+    EXPECT_TRUE(obs::jsonl::parse_object(line, obj)) << line;
+    const obs::jsonl::Value* w = obj.find("worker");
+    if (w == nullptr) {
+      ++scan.untagged;
+    }
+    const auto ev = obj.str("ev");
+    if (ev == "span") {
+      SpanRow row;
+      row.name = std::string(obj.str("name"));
+      row.trace = obs::parse_span_id_hex(obj.str("trace"));
+      row.span = obs::parse_span_id_hex(obj.str("span"));
+      row.parent = obs::parse_span_id_hex(obj.str("parent"));
+      scan.spans.push_back(std::move(row));
+    } else if (ev == "profile" && w != nullptr) {
+      scan.profile_workers.insert(w->kind == obs::jsonl::Value::Kind::kString
+                                      ? std::string(w->str)
+                                      : "w" + std::to_string(static_cast<long long>(w->num)));
+    }
+  }
+  return scan;
+}
+
+using SpanTuple = std::tuple<std::string, std::uint64_t, std::uint64_t, std::uint64_t>;
+
+std::set<SpanTuple> tree_tuples(const TelemetryScan& scan) {
+  // The cross-process campaign tree the ISSUE pins: pipeline root,
+  // JobGraph stage spans, fleet task spans. (Leaf spans inside workers
+  // are also replay-stable, but their set is allowed to grow as
+  // instrumentation is added; the tree shape is the contract.)
+  std::set<SpanTuple> out;
+  for (const SpanRow& r : scan.spans) {
+    if (r.name == "fleet.pipeline" || r.name.rfind("exec.job.", 0) == 0 ||
+        r.name.rfind("fleet.task.", 0) == 0) {
+      out.insert({r.name, r.trace, r.span, r.parent});
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> result_bytes(const attack::ComponentResult& r) {
+  std::vector<std::uint8_t> out;
+  attack::serialize_component_result(out, r);
+  return out;
+}
+
+std::vector<std::uint8_t> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+TEST(TraceExportFleet, CampaignFormsOneReplayStableTreeAndExportIsDeterministic) {
+  TempFile tmp_a("trace_fleet_a.fdtrace");
+  TempFile telem_a("trace_fleet_a.jsonl");
+  const auto res_a = fleet::run_fleet(export_fleet(tmp_a.path, telem_a.path));
+  ASSERT_TRUE(res_a.ok) << res_a.error;
+  ASSERT_TRUE(res_a.recovery.f_exact);
+
+  const TelemetryScan scan_a = scan_telemetry(telem_a.path);
+  ASSERT_GT(scan_a.lines, 0u);
+  EXPECT_EQ(scan_a.lines, res_a.telemetry_lines);
+  // Satellite pin: no untagged rows -- coordinator events carry
+  // "worker":"coord", worker events their numeric id.
+  EXPECT_EQ(scan_a.untagged, 0u);
+
+  // Resource counters flowed from all three processes.
+  EXPECT_TRUE(scan_a.profile_workers.count("coord")) << "coordinator sampler missing";
+  EXPECT_TRUE(scan_a.profile_workers.count("w0")) << "worker 0 sampler missing";
+  EXPECT_TRUE(scan_a.profile_workers.count("w1")) << "worker 1 sampler missing";
+
+  // One tree: a single root, every parent resolvable, stage spans under
+  // the root, task spans under stage spans -- across process boundaries.
+  std::set<std::uint64_t> ids;
+  std::set<std::uint64_t> stage_ids;
+  std::uint64_t root_span = 0;
+  std::size_t roots = 0;
+  std::size_t tasks = 0;
+  for (const SpanRow& r : scan_a.spans) {
+    ASSERT_NE(r.span, 0u) << r.name;
+    EXPECT_TRUE(ids.insert(r.span).second) << "duplicate span id for " << r.name;
+    if (r.name == "fleet.pipeline") {
+      ++roots;
+      root_span = r.span;
+      EXPECT_EQ(r.parent, 0u);
+    }
+    if (r.name.rfind("exec.job.", 0) == 0) stage_ids.insert(r.span);
+  }
+  EXPECT_EQ(roots, 1u);
+  ASSERT_NE(root_span, 0u);
+  ASSERT_FALSE(stage_ids.empty());
+  for (const SpanRow& r : scan_a.spans) {
+    EXPECT_EQ(r.trace, scan_a.spans.front().trace) << r.name;  // one trace id
+    if (r.parent != 0) {
+      EXPECT_TRUE(ids.count(r.parent)) << "orphan span " << r.name;
+    }
+    if (r.name.rfind("exec.job.", 0) == 0) {
+      EXPECT_EQ(r.parent, root_span) << r.name;
+    }
+    if (r.name.rfind("fleet.task.", 0) == 0) {
+      ++tasks;
+      EXPECT_TRUE(stage_ids.count(r.parent)) << r.name << " not under a stage span";
+    }
+  }
+  EXPECT_GT(tasks, 0u);
+
+  // Replay stability: the same fixed-seed campaign again yields the
+  // same (name, trace, span, parent) tree -- IDs derive from the
+  // session hash, never wall clock.
+  TempFile tmp_b("trace_fleet_b.fdtrace");
+  TempFile telem_b("trace_fleet_b.jsonl");
+  const auto res_b = fleet::run_fleet(export_fleet(tmp_b.path, telem_b.path));
+  ASSERT_TRUE(res_b.ok) << res_b.error;
+  const TelemetryScan scan_b = scan_telemetry(telem_b.path);
+  EXPECT_EQ(tree_tuples(scan_a), tree_tuples(scan_b));
+
+  // Tracing is observation only: a run with telemetry disabled recovers
+  // the identical key with the identical amount of work.
+  TempFile tmp_c("trace_fleet_c.fdtrace");
+  const auto res_c = fleet::run_fleet(export_fleet(tmp_c.path, ""));
+  ASSERT_TRUE(res_c.ok) << res_c.error;
+  EXPECT_EQ(res_c.telemetry_lines, 0u);
+  EXPECT_EQ(res_a.recovery.recovered_f, res_c.recovery.recovered_f);
+  EXPECT_TRUE(res_c.recovery.f_exact);
+  EXPECT_EQ(res_a.archive_scans, res_c.archive_scans);
+  EXPECT_EQ(res_a.accepted_traces, res_c.accepted_traces);
+  ASSERT_EQ(res_a.results.size(), res_c.results.size());
+  for (std::size_t i = 0; i < res_a.results.size(); ++i) {
+    EXPECT_EQ(result_bytes(res_a.results[i]), result_bytes(res_c.results[i]))
+        << "component " << i;
+  }
+
+  // Export: three process tracks, no orphans, byte-identical across
+  // repeated invocations on the same input.
+  const std::string out1 = "trace_fleet_a.trace1.json";
+  const std::string out2 = "trace_fleet_a.trace2.json";
+  ExportStats st;
+  std::string err;
+  ASSERT_TRUE(obs::trace::export_chrome_trace(telem_a.path, out1, &err, &st)) << err;
+  EXPECT_EQ(st.processes, 3u);
+  EXPECT_EQ(st.orphan_spans, 0u);
+  EXPECT_GT(st.spans, 0u);
+  EXPECT_GT(st.counter_samples, 0u);
+  EXPECT_GT(st.instants, 0u);
+  EXPECT_EQ(st.malformed_lines, 0u);
+  ASSERT_TRUE(obs::trace::export_chrome_trace(telem_a.path, out2, &err)) << err;
+  const auto bytes1 = read_file(out1);
+  EXPECT_FALSE(bytes1.empty());
+  EXPECT_EQ(bytes1, read_file(out2));
+
+  const std::string json(bytes1.begin(), bytes1.end());
+  EXPECT_NE(json.find("\"name\":\"coordinator\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"worker 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"worker 1\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"rss_bytes\""), std::string::npos);
+
+  std::remove(out1.c_str());
+  std::remove(out2.c_str());
+}
+
+#endif  // FD_OBS_ENABLED && defined(FD_ATTACK_BIN)
+
+}  // namespace
+}  // namespace fd

@@ -53,6 +53,7 @@
 #include "fleet/coordinator.h"
 #include "fleet/worker.h"
 #include "obs/jsonl.h"
+#include "obs/profile.h"
 #include "obs/sink.h"
 
 using namespace fd;
@@ -307,9 +308,12 @@ int main(int argc, char** argv) {
   // Single-process telemetry: same JSONL stream the fleet coordinator
   // writes, so fd-report works identically against either mode.
   std::unique_ptr<obs::JsonLinesSink> telemetry_sink;
+  std::unique_ptr<obs::ResourceSampler> sampler;
   if (!opt.telemetry.empty()) {
     telemetry_sink = std::make_unique<obs::JsonLinesSink>(opt.telemetry);
     obs::set_sink(telemetry_sink.get());
+    obs::set_thread_name("fd-attack");
+    sampler = std::make_unique<obs::ResourceSampler>();
   }
 
   if (!opt.json) {

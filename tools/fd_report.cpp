@@ -4,6 +4,8 @@
 //   fd-report <telemetry.jsonl>            per-label summary tables
 //   fd-report <telemetry.jsonl> --label L  full convergence curve of one label
 //   fd-report <telemetry.jsonl> --follow   tail a live run (fleet telemetry)
+//   fd-report <telemetry.jsonl> --export-trace <out.json>
+//                                          Chrome/Perfetto trace export
 //
 // --follow tails the file like `tail -f`, feeding whatever bytes are
 // there through obs::jsonl::StreamReader -- which tolerates a
@@ -23,6 +25,7 @@
 // Links only the always-compiled obs core (jsonl parser), so it reads
 // telemetry from instrumented builds even when built with FD_OBS=OFF.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
@@ -34,6 +37,9 @@
 #include <vector>
 
 #include "obs/jsonl.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/trace_export.h"
 
 namespace jsonl = fd::obs::jsonl;
 
@@ -67,6 +73,18 @@ struct Campaign {
 struct SpanStats {
   std::size_t count = 0;
   double total_us = 0.0;
+  // Duration distribution in the shared log-bucket geometry, so the
+  // always-compiled histogram_percentile gives p50/p95/p99.
+  fd::obs::HistogramView hist;
+};
+
+// One span occurrence with its propagated ids -- the raw material for
+// self-time (total minus direct children) in the summary table.
+struct SpanInstance {
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::size_t name_idx = 0;  // into Report::spans
+  double dur_us = 0.0;
 };
 
 // Per-label series, kept in first-seen order so the report is stable
@@ -109,20 +127,41 @@ struct Report {
   LabelSeries<Phase> phases;
   std::vector<Campaign> campaigns;
   std::vector<std::pair<std::string, SpanStats>> spans;  // first-seen order
+  std::vector<SpanInstance> span_instances;
   FleetStats fleet;
   std::size_t events = 0;
   std::size_t parse_errors = 0;
 };
 
-void add_span(Report& rep, std::string_view name, double wall_us) {
-  for (auto& [n, st] : rep.spans) {
-    if (n == name) {
-      ++st.count;
-      st.total_us += wall_us;
-      return;
+void add_span(Report& rep, const jsonl::Object& obj) {
+  const std::string_view name = obj.str("name");
+  const double wall_us = obj.num("wall_us");
+  std::size_t idx = rep.spans.size();
+  for (std::size_t i = 0; i < rep.spans.size(); ++i) {
+    if (rep.spans[i].first == name) {
+      idx = i;
+      break;
     }
   }
-  rep.spans.emplace_back(name, SpanStats{1, wall_us});
+  if (idx == rep.spans.size()) rep.spans.emplace_back(name, SpanStats{});
+  SpanStats& st = rep.spans[idx].second;
+  ++st.count;
+  st.total_us += wall_us;
+  if (st.hist.count == 0) {
+    st.hist.min = st.hist.max = wall_us;
+  } else {
+    st.hist.min = std::min(st.hist.min, wall_us);
+    st.hist.max = std::max(st.hist.max, wall_us);
+  }
+  ++st.hist.count;
+  st.hist.sum += wall_us;
+  ++st.hist.buckets[fd::obs::histogram_bucket_index(wall_us)];
+
+  const std::uint64_t id = fd::obs::parse_span_id_hex(obj.str("span"));
+  if (id != 0) {
+    rep.span_instances.push_back(
+        {id, fd::obs::parse_span_id_hex(obj.str("parent")), idx, wall_us});
+  }
 }
 
 void ingest_object(Report& rep, const jsonl::Object& obj) {
@@ -154,7 +193,7 @@ void ingest_object(Report& rep, const jsonl::Object& obj) {
     c.wall_us = obj.num("wall_us");
     rep.campaigns.push_back(c);
   } else if (ev == "span") {
-    add_span(rep, obj.str("name"), obj.num("wall_us"));
+    add_span(rep, obj);
   } else if (ev.substr(0, 6) == "fleet.") {
     rep.fleet.seen = true;
     if (ev == "fleet.worker.spawn") ++rep.fleet.workers_spawned;
@@ -260,11 +299,37 @@ void print_summary(const Report& rep) {
   }
 
   if (!rep.spans.empty()) {
+    // Self time: each instance's duration minus its direct children's.
+    // Works from the propagated span/parent ids, so in a fleet file a
+    // worker task span counts against the coordinator stage span that
+    // spawned it. Files without ids degrade to self == total.
+    std::map<std::uint64_t, std::size_t> by_id;
+    for (std::size_t i = 0; i < rep.span_instances.size(); ++i) {
+      by_id[rep.span_instances[i].id] = i;
+    }
+    std::vector<double> child_us(rep.span_instances.size(), 0.0);
+    for (const SpanInstance& inst : rep.span_instances) {
+      const auto it = by_id.find(inst.parent);
+      if (it != by_id.end()) child_us[it->second] += inst.dur_us;
+    }
+    std::vector<double> self_us(rep.spans.size(), 0.0);
+    std::vector<bool> has_ids(rep.spans.size(), false);
+    for (std::size_t i = 0; i < rep.span_instances.size(); ++i) {
+      const SpanInstance& inst = rep.span_instances[i];
+      has_ids[inst.name_idx] = true;
+      self_us[inst.name_idx] += std::max(0.0, inst.dur_us - child_us[i]);
+    }
+
     std::printf("== spans ==\n");
-    std::printf("  %-28s %8s %12s %12s\n", "name", "count", "total_ms", "mean_us");
-    for (const auto& [name, st] : rep.spans) {
-      std::printf("  %-28s %8zu %12.3f %12.1f\n", name.c_str(), st.count, st.total_us / 1e3,
-                  st.total_us / static_cast<double>(st.count));
+    std::printf("  %-28s %8s %11s %11s %10s %10s %10s\n", "name", "count", "total_ms",
+                "self_ms", "p50_us", "p95_us", "p99_us");
+    for (std::size_t i = 0; i < rep.spans.size(); ++i) {
+      const auto& [name, st] = rep.spans[i];
+      const double self = has_ids[i] ? self_us[i] : st.total_us;
+      std::printf("  %-28s %8zu %11.3f %11.3f %10.1f %10.1f %10.1f\n", name.c_str(), st.count,
+                  st.total_us / 1e3, self / 1e3, fd::obs::histogram_percentile(st.hist, 50.0),
+                  fd::obs::histogram_percentile(st.hist, 95.0),
+                  fd::obs::histogram_percentile(st.hist, 99.0));
     }
     std::printf("\n");
   }
@@ -297,9 +362,14 @@ int print_curve(const Report& rep, const std::string& label) {
 // fleet.*. Everything else accumulates silently into the report.
 void render_live(const jsonl::Object& obj) {
   const std::string_view ev = obj.str("ev");
-  const long worker = static_cast<long>(obj.num("worker", -1.0));
-  char wtag[24] = "";
-  if (worker >= 0) std::snprintf(wtag, sizeof(wtag), " [w%ld]", worker);
+  char wtag[32] = "";
+  if (const jsonl::Value* wv = obj.find("worker"); wv != nullptr) {
+    if (wv->kind == jsonl::Value::Kind::kString) {
+      std::snprintf(wtag, sizeof(wtag), " [%s]", wv->str.c_str());
+    } else if (wv->kind == jsonl::Value::Kind::kNumber && wv->num >= 0.0) {
+      std::snprintf(wtag, sizeof(wtag), " [w%ld]", static_cast<long>(wv->num));
+    }
+  }
 
   if (ev == "cpa.snapshot") {
     const long rank = static_cast<long>(obj.num("truth_rank", -1.0));
@@ -403,8 +473,30 @@ int usage() {
                "usage: fd-report <telemetry.jsonl>\n"
                "       fd-report <telemetry.jsonl> --label <label>\n"
                "       fd-report <telemetry.jsonl> --follow [--poll-ms N]\n"
-               "                                   [--exit-after-idle-ms N]\n");
+               "                                   [--exit-after-idle-ms N]\n"
+               "       fd-report <telemetry.jsonl> --export-trace <out.json>\n");
   return 2;
+}
+
+int export_trace(const std::string& path, const std::string& out_path) {
+  fd::obs::trace::ExportStats st;
+  std::string err;
+  if (!fd::obs::trace::export_chrome_trace(path, out_path, &err, &st)) {
+    std::fprintf(stderr, "fd-report: %s\n", err.c_str());
+    return 2;
+  }
+  std::printf("fd-report: %s -> %s\n", path.c_str(), out_path.c_str());
+  std::printf("  %zu events -> %zu slices, %zu counter samples, %zu instants, %zu flow arrows\n",
+              st.events_in, st.spans, st.counter_samples, st.instants, st.flow_arrows);
+  std::printf("  %zu process track%s, %zu named threads\n", st.processes,
+              st.processes == 1 ? "" : "s", st.thread_names);
+  if (st.malformed_lines > 0) std::printf("  %zu malformed lines skipped\n", st.malformed_lines);
+  if (st.orphan_spans > 0) {
+    std::printf("  WARNING: %zu span%s with a missing parent (stream cut mid-run?)\n",
+                st.orphan_spans, st.orphan_spans == 1 ? "" : "s");
+  }
+  std::printf("  open in https://ui.perfetto.dev or chrome://tracing\n");
+  return 0;
 }
 
 }  // namespace
@@ -412,6 +504,7 @@ int usage() {
 int main(int argc, char** argv) {
   std::string path;
   std::string label;
+  std::string export_path;
   bool follow_mode = false;
   std::size_t poll_ms = 50;
   std::size_t idle_exit_ms = 0;
@@ -420,6 +513,9 @@ int main(int argc, char** argv) {
     if (arg == "--label") {
       if (i + 1 >= argc) return usage();
       label = argv[++i];
+    } else if (arg == "--export-trace") {
+      if (i + 1 >= argc) return usage();
+      export_path = argv[++i];
     } else if (arg == "--follow") {
       follow_mode = true;
     } else if (arg == "--poll-ms") {
@@ -436,6 +532,7 @@ int main(int argc, char** argv) {
     }
   }
   if (path.empty()) return usage();
+  if (!export_path.empty()) return export_trace(path, export_path);
   if (follow_mode) return follow(path, poll_ms, idle_exit_ms);
 
   std::FILE* f = std::fopen(path.c_str(), "rb");
